@@ -1,0 +1,72 @@
+// Fig 6 — "Cache usage patterns of probe addresses extracted by the
+// attacker": Prime+Probe against the GnuPG square-and-multiply victim on
+// the full Table II machine, (a) baseline and (b) with PiPoMonitor.
+//
+// Each row prints 100 attack iterations; '*' marks an iteration in which
+// the attacker observed a large probe delay (inferred victim access).
+#include <cstdio>
+
+#include "analysis/leakage.h"
+#include "attack/attack_experiment.h"
+#include "attack/victim.h"
+
+namespace {
+
+void render(const char* title, const pipo::PrimeProbeExperimentResult& r) {
+  std::printf("%s\n", title);
+  const char* rows[2] = {"square  ", "multiply"};
+  for (int t = 0; t < 2; ++t) {
+    std::printf("  %s |", rows[t]);
+    for (bool seen : r.observed[t]) std::printf("%c", seen ? '*' : '.');
+    std::printf("|\n");
+  }
+  std::printf("  key bits|");
+  for (bool b : r.truth_multiply) std::printf("%c", b ? '1' : '0');
+  std::printf("|\n");
+  std::printf("  observed rates: square %.0f%%, multiply %.0f%%; "
+              "key-recovery accuracy: %.1f%%\n",
+              r.observed_rate[0] * 100, r.observed_rate[1] * 100,
+              r.key_accuracy * 100);
+  std::printf("  channel leakage I(key; multiply obs) = %.3f bits/iter, "
+              "best single-bit decoder %.1f%%\n\n",
+              pipo::trace_leakage_bits(r.truth_multiply, r.observed[1]),
+              pipo::best_decoder_accuracy(
+                  pipo::tally(r.truth_multiply, r.observed[1])) *
+                  100);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pipo;
+
+  PrimeProbeExperimentConfig cfg;
+  cfg.iterations = 100;      // paper: 100 attack iterations
+  cfg.interval = 5000;       // paper: probe every 5000 cycles
+  cfg.key = make_test_key(100, 0x6E6
+  );
+
+  std::printf("Fig 6: Prime+Probe vs square-and-multiply, Table II "
+              "machine, %u iterations @ %llu cycles\n\n",
+              cfg.iterations,
+              static_cast<unsigned long long>(cfg.interval));
+
+  cfg.system = SystemConfig::baseline();
+  const auto baseline = run_prime_probe_experiment(cfg);
+  render("(a) Baseline -- multiply row reveals the key:", baseline);
+
+  cfg.system = SystemConfig::paper_default();
+  const auto defended = run_prime_probe_experiment(cfg);
+  render("(b) PiPoMonitor -- attacker always observes accesses:", defended);
+
+  std::printf("defense activity: %llu Ping-Pong captures, %llu pEvicts, "
+              "%llu prefetch fills\n",
+              static_cast<unsigned long long>(defended.monitor_captures),
+              static_cast<unsigned long long>(defended.system_stats.pevicts),
+              static_cast<unsigned long long>(
+                  defended.system_stats.prefetch_fills));
+  std::printf("\npaper check: (a) accuracy ~100%% -- operation sequence "
+              "leaks; (b) both rows saturated, accuracy drops to the "
+              "trivial guess.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Fig 7 + Section VI-B — defense-aware adversary against the Auto-Cuckoo
+// filter:
+//   * brute force: expected fills to evict a target record = b*l
+//     (paper: 8192 measured at b=8, l=1024);
+//   * reverse engineering: the eviction-set size grows as b^(MNK+1)
+//     (paper: 32768 at MNK=4 > brute force, rendering it impractical);
+//   * the classic filter's false-deletion attack (Section V-A) that
+//     motivated removing manual deletion.
+#include <cstdio>
+#include <vector>
+
+#include "attack/filter_attack.h"
+
+int main() {
+  using namespace pipo;
+
+  // --- brute force at paper scale ---
+  std::printf("Section VI-B: brute-force eviction of a target record\n");
+  std::printf("%-12s %-8s %-14s %-14s %-10s\n", "filter", "trials",
+              "mean fills", "theory b*l", "censored");
+  {
+    FilterConfig cfg = FilterConfig::paper_default();  // 1024x8, MNK=4
+    const auto r = brute_force_attack(cfg, 20, 0x7E57, 200'000);
+    std::printf("%ux%-9u %-8u %-14.0f %-14.0f %-10u\n", cfg.l, cfg.b,
+                r.trials, r.mean_fills, r.theory, r.censored);
+  }
+  {
+    FilterConfig cfg = FilterConfig::paper_default();
+    cfg.l = 512;
+    const auto r = brute_force_attack(cfg, 20, 0x7E58, 200'000);
+    std::printf("%ux%-10u %-8u %-14.0f %-14.0f %-10u\n", cfg.l, cfg.b,
+                r.trials, r.mean_fills, r.theory, r.censored);
+  }
+
+  // --- reverse attack vs MNK (small filter so measurements terminate) ---
+  //
+  // Two costs tell the Fig 7 story. The *per-attempt* fill count shows
+  // the attacker's steering advantage over brute force collapsing as MNK
+  // grows: every autonomic deletion already drops a near-uniform victim,
+  // so once the displacement walk is long enough to diffuse, no fill
+  // strategy beats random (advantage -> 1x). The *setup* cost -- distinct
+  // pair-conditioned addresses the adversary must find and manage, the
+  // paper's eviction-set size -- grows as b^(MNK+1) and exceeds even the
+  // brute-force fill count at MNK=4.
+  std::printf("\nFig 7: targeted (reverse-engineering) attack vs MNK "
+              "(l=64, b=8 demo filter; fills capped at 300000)\n");
+  std::printf("%-5s %-16s %-15s %-18s %-9s\n", "MNK",
+              "set size b^(M+1)", "measured fills",
+              "advantage vs brute", "censored");
+  FilterConfig demo;
+  demo.l = 64;
+  demo.b = 8;
+  demo.f = 12;
+  const auto brute_demo = brute_force_attack(demo, 20, 0xB12, 300'000);
+  for (std::uint32_t mnk : {0u, 1u, 2u, 4u}) {
+    FilterConfig cfg = demo;
+    cfg.mnk = mnk;
+    const auto r = targeted_attack(cfg, 10, 0xF16'7 + mnk, 300'000);
+    std::printf("%-5u %-16.0f %-15.0f %-18.2f %-9u\n", mnk, r.theory,
+                r.mean_fills, brute_demo.mean_fills / r.mean_fills,
+                r.censored);
+  }
+  std::printf("(brute force on the same filter: %.0f fills; advantage 1x "
+              "means steering beats random no longer)\n",
+              brute_demo.mean_fills);
+
+  // --- paper-scale theory table ---
+  std::printf("\npaper-scale theory (b=8, l=1024):\n");
+  std::printf("%-6s %-20s\n", "MNK", "eviction-set size b^(MNK+1)");
+  for (std::uint32_t mnk : {0u, 1u, 2u, 3u, 4u}) {
+    double size = 1;
+    for (std::uint32_t i = 0; i <= mnk; ++i) size *= 8;
+    std::printf("%-6u %-20.0f%s\n", mnk, size,
+                mnk == 4 ? "   <- exceeds brute force (8192): impractical"
+                         : "");
+  }
+
+  // --- classic-filter false deletion (Section V-A) ---
+  std::printf("\nSection V-A: false-deletion attack on a CLASSIC cuckoo "
+              "filter (why Auto-Cuckoo has no erase()):\n");
+  FilterConfig classic;
+  classic.l = 1024;
+  classic.b = 8;
+  classic.f = 12;
+  classic.mnk = 16;
+  const auto fd = false_deletion_attack(classic, 0xDE1, 100'000'000);
+  std::printf("  scanned %llu candidate addresses to find an alias; "
+              "target record removed: %s\n",
+              static_cast<unsigned long long>(fd.scanned),
+              fd.target_removed ? "YES (attack succeeds)" : "no");
+  std::printf("\npaper check: brute-force mean ~ b*l (8192); the targeted "
+              "attacker's advantage collapses to 1x while its eviction-set "
+              "size explodes as b^(MNK+1), exceeding brute force at MNK=4; "
+              "classic delete is exploitable.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig 8 — (a) normalized performance and (b) false positives per million
+// instructions, for every Table III mix under five Auto-Cuckoo filter
+// geometries (512x8, 1024x8, 1024x16, 2048x4, 2048x8).
+//
+// Instruction budget and working-set scale are reduced together from the
+// paper's 1 billion instructions per core (see EXPERIMENTS.md): dividing
+// each component's working set by ws_divisor preserves the per-line
+// evict/re-fetch counts the false-positive rates depend on. Pass a
+// different budget as argv[1] and ws_divisor as argv[2]
+// (1'000'000'000 1 reproduces the paper's full-scale setup).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/perf_experiment.h"
+#include "workload/mixes.h"
+
+int main(int argc, char** argv) {
+  using namespace pipo;
+
+  const std::uint64_t budget =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000;
+  const std::uint64_t ws_divisor =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+
+  struct Geometry {
+    std::uint32_t l, b;
+  };
+  const std::vector<Geometry> geometries = {
+      {512, 8}, {1024, 8}, {1024, 16}, {2048, 4}, {2048, 8}};
+
+  std::printf("Fig 8: Table III mixes, %llu instructions/core, "
+              "working sets /%llu, Table II machine\n\n",
+              static_cast<unsigned long long>(budget),
+              static_cast<unsigned long long>(ws_divisor));
+
+  // Baseline first (shared across geometries).
+  std::vector<Tick> base_time(num_mixes() + 1, 0);
+  for (unsigned m = 1; m <= num_mixes(); ++m) {
+    base_time[m] =
+        run_mix_perf(m, SystemConfig::baseline(), budget, 42, ws_divisor)
+            .exec_time;
+  }
+
+  // (a) normalized performance.
+  std::printf("(a) normalized performance (baseline / PiPoMonitor; "
+              ">1 means PiPoMonitor is faster)\n");
+  std::printf("%-7s", "mix");
+  for (const auto& g : geometries) {
+    std::printf("   %ux%-6u", g.l, g.b);
+  }
+  std::printf("\n");
+
+  std::vector<std::vector<MixPerfResult>> results(
+      geometries.size(), std::vector<MixPerfResult>(num_mixes() + 1));
+  std::vector<double> norm_sum(geometries.size(), 0.0);
+  for (unsigned m = 1; m <= num_mixes(); ++m) {
+    std::printf("mix%-4u", m);
+    for (std::size_t gi = 0; gi < geometries.size(); ++gi) {
+      SystemConfig cfg = SystemConfig::paper_default();
+      cfg.monitor.filter.l = geometries[gi].l;
+      cfg.monitor.filter.b = geometries[gi].b;
+      results[gi][m] = run_mix_perf(m, cfg, budget, 42, ws_divisor);
+      const double norm = static_cast<double>(base_time[m]) /
+                          static_cast<double>(results[gi][m].exec_time);
+      norm_sum[gi] += norm;
+      std::printf("   %8.4f", norm);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-7s", "avg");
+  for (std::size_t gi = 0; gi < geometries.size(); ++gi) {
+    std::printf("   %8.4f", norm_sum[gi] / num_mixes());
+  }
+  std::printf("\n\n");
+
+  // (b) false positives per million instructions.
+  std::printf("(b) false positives (Ping-Pong prefetch triggers) per "
+              "million instructions\n");
+  std::printf("%-7s", "mix");
+  for (const auto& g : geometries) std::printf("   %ux%-6u", g.l, g.b);
+  std::printf("\n");
+  for (unsigned m = 1; m <= num_mixes(); ++m) {
+    std::printf("mix%-4u", m);
+    for (std::size_t gi = 0; gi < geometries.size(); ++gi) {
+      std::printf("   %8.1f", results[gi][m].false_positives_per_mi);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper check: average impact within ~0.2%% across filter "
+              "sizes; the memory-intensive mixes (mix1, mix7) show the "
+              "most false positives, which prefetching turns into a "
+              "slight performance gain.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: the pEvict re-arm gate (PrefetchGate).
+//
+// The paper's anti-over-protection rule ("only when the tagged-accessed
+// line is evicted, it will be prefetched") under-specifies what happens
+// when a prefetched-but-untouched line is evicted. The two readings
+// differ on both axes this bench measures:
+//
+//   * security — the strict kAccessedOnly gate lets protection lapse
+//     during runs of 0-bits (the victim's multiply line is untouched, so
+//     its eviction never re-arms), leaking those runs to the attacker;
+//     kCapturedInFilter keeps restoring the line while the filter still
+//     remembers it as Ping-Pong, sustaining Fig 6(b)'s full blinding.
+//
+//   * cost — kCapturedInFilter must not chain off its own fills (a
+//     prefetch fill evicting a sibling would storm a conflict-thrashing
+//     set forever), which is why pEvict carries the eviction-cause bit;
+//     the benign-mix prefetch counts verify the storm is gone.
+#include <cstdio>
+
+#include "analysis/perf_experiment.h"
+#include "attack/attack_experiment.h"
+#include "attack/victim.h"
+
+int main() {
+  using namespace pipo;
+
+  std::printf("Prefetch-gate ablation (Section IV anti-over-protection)\n\n");
+
+  // --- security: Fig 6 experiment under each gate ---
+  std::printf("(1) Prime+Probe key recovery, Table II machine, "
+              "100 iterations\n");
+  std::printf("%-22s %-16s %-18s %-12s\n", "gate", "key accuracy",
+              "multiply observed", "prefetches");
+  const auto run_attack = [](bool defended, PrefetchGate gate) {
+    PrimeProbeExperimentConfig cfg;
+    cfg.system =
+        defended ? SystemConfig::paper_default() : SystemConfig::baseline();
+    cfg.system.monitor.gate = gate;
+    cfg.iterations = 100;
+    cfg.key = make_test_key(100, 0xFEED);
+    return run_prime_probe_experiment(cfg);
+  };
+  {
+    const auto r = run_attack(false, PrefetchGate::kAccessedOnly);
+    std::printf("%-22s %-16.2f %-18.2f %-12llu\n", "(baseline, no defense)",
+                r.key_accuracy, r.observed_rate[1],
+                static_cast<unsigned long long>(r.monitor_prefetches));
+  }
+  {
+    const auto r = run_attack(true, PrefetchGate::kAccessedOnly);
+    std::printf("%-22s %-16.2f %-18.2f %-12llu\n", "kAccessedOnly",
+                r.key_accuracy, r.observed_rate[1],
+                static_cast<unsigned long long>(r.monitor_prefetches));
+  }
+  {
+    const auto r = run_attack(true, PrefetchGate::kCapturedInFilter);
+    std::printf("%-22s %-16.2f %-18.2f %-12llu\n", "kCapturedInFilter",
+                r.key_accuracy, r.observed_rate[1],
+                static_cast<unsigned long long>(r.monitor_prefetches));
+  }
+
+  // --- cost: benign mixes under each gate ---
+  std::printf("\n(2) benign cost, mix1/mix7, 1M instructions/core, "
+              "working sets /16\n");
+  std::printf("%-22s %-8s %-14s %-16s\n", "gate", "mix", "FP per Mi",
+              "exec time ratio");
+  for (unsigned mix : {1u, 7u}) {
+    const auto base =
+        run_mix_perf(mix, SystemConfig::baseline(), 1'000'000, 42, 16);
+    for (PrefetchGate gate :
+         {PrefetchGate::kAccessedOnly, PrefetchGate::kCapturedInFilter}) {
+      SystemConfig cfg = SystemConfig::paper_default();
+      cfg.monitor.gate = gate;
+      const auto r = run_mix_perf(mix, cfg, 1'000'000, 42, 16);
+      std::printf("%-22s mix%-5u %-14.1f %-16.4f\n",
+                  gate == PrefetchGate::kAccessedOnly ? "kAccessedOnly"
+                                                      : "kCapturedInFilter",
+                  mix, r.false_positives_per_mi,
+                  static_cast<double>(r.exec_time) /
+                      static_cast<double>(base.exec_time));
+    }
+  }
+
+  std::printf("\ncheck: kCapturedInFilter reaches trivial-guess key "
+              "accuracy with near-total multiply observation (Fig 6(b)) at "
+              "benign cost comparable to the strict gate; kAccessedOnly "
+              "leaks 0-bit runs.\n");
+  return 0;
+}

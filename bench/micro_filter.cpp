@@ -1,0 +1,100 @@
+// Google-benchmark microbenchmarks of the (Auto-)Cuckoo filter hot paths:
+// the per-Access latency the PiPoMonitor hardware would pipeline, and how
+// it scales with occupancy, MNK and geometry.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "filter/auto_cuckoo_filter.h"
+#include "filter/cuckoo_filter.h"
+
+namespace {
+
+using namespace pipo;
+
+FilterConfig config_with(std::uint32_t l, std::uint32_t b,
+                         std::uint32_t mnk) {
+  FilterConfig cfg;
+  cfg.l = l;
+  cfg.b = b;
+  cfg.mnk = mnk;
+  return cfg;
+}
+
+void BM_AutoCuckooAccess_Cold(benchmark::State& state) {
+  AutoCuckooFilter filter(config_with(1024, 8, 4));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.access(rng.below(1ull << 40)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AutoCuckooAccess_Cold);
+
+void BM_AutoCuckooAccess_FullFilter(benchmark::State& state) {
+  const auto mnk = static_cast<std::uint32_t>(state.range(0));
+  AutoCuckooFilter filter(config_with(1024, 8, mnk));
+  Rng rng(2);
+  while (filter.size() < filter.config().entries()) {
+    filter.access(rng.below(1ull << 40));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.access(rng.below(1ull << 40)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AutoCuckooAccess_FullFilter)->Arg(0)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_AutoCuckooAccess_HotHit(benchmark::State& state) {
+  AutoCuckooFilter filter(config_with(1024, 8, 4));
+  filter.access(0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.access(0xAB));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AutoCuckooAccess_HotHit);
+
+void BM_AutoCuckooContains(benchmark::State& state) {
+  AutoCuckooFilter filter(config_with(1024, 8, 4));
+  Rng rng(3);
+  for (int i = 0; i < 8192; ++i) filter.access(rng.below(1ull << 40));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.contains(rng.below(1ull << 40)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AutoCuckooContains);
+
+void BM_ClassicCuckooInsert(benchmark::State& state) {
+  CuckooFilter filter(config_with(1024, 8, 500));
+  Rng rng(4);
+  for (auto _ : state) {
+    if (filter.occupancy() > 0.9) {
+      state.PauseTiming();
+      filter.clear();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(filter.insert(rng.below(1ull << 40)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassicCuckooInsert);
+
+void BM_FilterGeometrySweep(benchmark::State& state) {
+  const auto l = static_cast<std::uint32_t>(state.range(0));
+  const auto b = static_cast<std::uint32_t>(state.range(1));
+  AutoCuckooFilter filter(config_with(l, b, 4));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.access(rng.below(1ull << 40)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterGeometrySweep)
+    ->Args({512, 8})
+    ->Args({1024, 8})
+    ->Args({1024, 16})
+    ->Args({2048, 4})
+    ->Args({2048, 8});
+
+}  // namespace

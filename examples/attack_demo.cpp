@@ -1,0 +1,64 @@
+// attack_demo: runs the Section VI-A Prime+Probe attack against a
+// square-and-multiply victim twice — on the unprotected baseline and
+// under PiPoMonitor — and renders the attacker's view (Fig 6 style).
+//
+// Usage: ./build/examples/attack_demo [iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "attack/attack_experiment.h"
+#include "attack/victim.h"
+
+namespace {
+
+void render(const char* title,
+            const pipo::PrimeProbeExperimentResult& r) {
+  std::printf("%s\n", title);
+  const char* rows[2] = {"square  ", "multiply"};
+  for (int t = 0; t < 2; ++t) {
+    std::printf("  %s |", rows[t]);
+    for (bool seen : r.observed[t]) std::printf("%c", seen ? '*' : '.');
+    std::printf("|\n");
+  }
+  std::printf("  key     |");
+  for (bool b : r.truth_multiply) std::printf("%c", b ? '1' : '0');
+  std::printf("|\n");
+  std::printf("  observed: square %.0f%%, multiply %.0f%% of rounds; "
+              "key-recovery accuracy %.0f%%\n\n",
+              r.observed_rate[0] * 100, r.observed_rate[1] * 100,
+              r.key_accuracy * 100);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pipo;
+  const std::uint32_t iterations =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 100;
+
+  PrimeProbeExperimentConfig cfg;
+  cfg.iterations = iterations;
+  cfg.interval = 5000;
+  cfg.key = make_test_key(iterations, /*seed=*/0xC0FFEE);
+
+  std::printf("Prime+Probe vs square-and-multiply (GnuPG-style), "
+              "%u rounds, probe every %llu cycles\n",
+              iterations, static_cast<unsigned long long>(cfg.interval));
+  std::printf("'*' = attacker observed an eviction in the target's set\n\n");
+
+  cfg.system = SystemConfig::baseline();
+  render("(a) baseline — the key leaks through the multiply row:",
+         run_prime_probe_experiment(cfg));
+
+  cfg.system = SystemConfig::paper_default();
+  const auto defended = run_prime_probe_experiment(cfg);
+  render("(b) PiPoMonitor — the attacker always observes accesses:",
+         defended);
+
+  std::printf("monitor captured %llu Ping-Pong accesses and issued %llu "
+              "obfuscating prefetches\n",
+              static_cast<unsigned long long>(defended.monitor_captures),
+              static_cast<unsigned long long>(defended.monitor_prefetches));
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Tour of the defense zoo: run the same cross-core Prime+Probe attack
+// against every defense the library implements and print what the
+// attacker learns under each.
+//
+//   ./example_defense_tour [iterations]
+//
+// This is the five-minute version of bench_defense_comparison: one
+// attack, six machines, side-by-side observation traces.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "attack/attack_experiment.h"
+#include "attack/victim.h"
+
+int main(int argc, char** argv) {
+  using namespace pipo;
+
+  const std::uint32_t iters =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 60;
+  const auto key = make_test_key(iters, 0xC0FFEE);
+
+  std::printf("One Prime+Probe attack, six machines (%u iterations).\n",
+              iters);
+  std::printf("Rows show whether the attacker inferred a victim access to "
+              "the multiply routine in each iteration.\n\n");
+
+  std::printf("key bits       ");
+  for (bool b : key) std::printf("%c", b ? '1' : '0');
+  std::printf("\n");
+
+  for (DefenseKind kind :
+       {DefenseKind::kNone, DefenseKind::kPiPoMonitor,
+        DefenseKind::kDirectoryMonitor, DefenseKind::kSharp,
+        DefenseKind::kBitp, DefenseKind::kRic}) {
+    PrimeProbeExperimentConfig cfg;
+    cfg.system = SystemConfig::with_defense(kind);
+    cfg.iterations = iters;
+    cfg.key = key;
+    const auto r = run_prime_probe_experiment(cfg);
+    std::printf("%-15.15s", to_string(kind));
+    for (bool o : r.observed[1]) std::printf("%c", o ? '*' : '.');
+    std::printf("  acc=%.0f%%\n", 100.0 * r.key_accuracy);
+  }
+
+  std::printf(
+      "\nReading the rows: the baseline's row mirrors the key (the leak); "
+      "PiPoMonitor and the directory monitor saturate the row with "
+      "prefetch-induced observations (the attacker always 'sees' an "
+      "access); SHARP denies the attacker its evictions; RIC silences "
+      "the channel for this read-only victim; BITP blurs but does not "
+      "erase it. Accuracy at ~the key's 1-bit fraction means the "
+      "attacker has nothing.\n");
+  return 0;
+}

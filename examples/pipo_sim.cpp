@@ -1,0 +1,221 @@
+// pipo_sim — command-line front end for the simulator: run a Table III
+// mix, a recorded trace, or the Fig 6 attack experiment on a configurable
+// machine and dump the full statistics. The "gem5 config script" of this
+// reproduction.
+//
+// Usage:
+//   pipo_sim mix <1..10> [--instr N] [--ws-div D] [--no-defense]
+//            [--defense pipo|dir|sharp|bitp|ric] [--l L] [--b B]
+//            [--secthr T] [--mnk K] [--seed S]
+//   pipo_sim trace <file> [--core C] [--no-defense] [...]
+//   pipo_sim attack [--iters N] [--interval T] [--no-defense] [...]
+//
+// Examples:
+//   pipo_sim mix 1 --instr 2000000 --ws-div 16
+//   pipo_sim attack --iters 100
+//   pipo_sim trace probe.trace --defense dir
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/perf_experiment.h"
+#include "attack/attack_experiment.h"
+#include "attack/victim.h"
+#include "sim/simulation.h"
+#include "workload/mixes.h"
+#include "workload/trace.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using namespace pipo;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: pipo_sim mix <1..10> | trace <file> | attack "
+               "[options]\n"
+               "options: --instr N --ws-div D --core C --iters N "
+               "--interval T\n"
+               "         --defense pipo|dir|sharp|bitp|ric --no-defense\n"
+               "         --l L --b B --secthr T --mnk K --seed S\n");
+  std::exit(2);
+}
+
+struct Options {
+  std::uint64_t instr = 1'000'000;
+  std::uint64_t ws_div = 16;
+  CoreId core = 0;
+  std::uint32_t iters = 100;
+  Tick interval = 5000;
+  SystemConfig system = SystemConfig::paper_default();
+};
+
+DefenseKind parse_defense(const std::string& name) {
+  if (name == "pipo") return DefenseKind::kPiPoMonitor;
+  if (name == "dir") return DefenseKind::kDirectoryMonitor;
+  if (name == "sharp") return DefenseKind::kSharp;
+  if (name == "bitp") return DefenseKind::kBitp;
+  if (name == "ric") return DefenseKind::kRic;
+  std::fprintf(stderr, "unknown defense '%s'\n", name.c_str());
+  usage();
+}
+
+Options parse_options(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (a == "--instr") {
+      o.instr = std::strtoull(need("--instr").c_str(), nullptr, 10);
+    } else if (a == "--ws-div") {
+      o.ws_div = std::strtoull(need("--ws-div").c_str(), nullptr, 10);
+    } else if (a == "--core") {
+      o.core = static_cast<CoreId>(
+          std::strtoul(need("--core").c_str(), nullptr, 10));
+    } else if (a == "--iters") {
+      o.iters = static_cast<std::uint32_t>(
+          std::strtoul(need("--iters").c_str(), nullptr, 10));
+    } else if (a == "--interval") {
+      o.interval = std::strtoull(need("--interval").c_str(), nullptr, 10);
+    } else if (a == "--no-defense") {
+      o.system = SystemConfig::baseline();
+    } else if (a == "--defense") {
+      o.system = SystemConfig::with_defense(parse_defense(need("--defense")));
+    } else if (a == "--l") {
+      o.system.monitor.filter.l = static_cast<std::uint32_t>(
+          std::strtoul(need("--l").c_str(), nullptr, 10));
+    } else if (a == "--b") {
+      o.system.monitor.filter.b = static_cast<std::uint32_t>(
+          std::strtoul(need("--b").c_str(), nullptr, 10));
+    } else if (a == "--secthr") {
+      o.system.monitor.filter.sec_thr = static_cast<std::uint32_t>(
+          std::strtoul(need("--secthr").c_str(), nullptr, 10));
+    } else if (a == "--mnk") {
+      o.system.monitor.filter.mnk = static_cast<std::uint32_t>(
+          std::strtoul(need("--mnk").c_str(), nullptr, 10));
+    } else if (a == "--seed") {
+      o.system.seed = std::strtoull(need("--seed").c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      usage();
+    }
+  }
+  return o;
+}
+
+void dump_system(const System& sys, std::uint64_t instructions) {
+  std::ostringstream os;
+  sys.stats().dump(os);
+  std::printf("%s", os.str().c_str());
+  std::printf("defense               %s\n", to_string(sys.config().defense));
+  std::printf("instructions          %llu\n",
+              static_cast<unsigned long long>(instructions));
+  if (sys.config().defense == DefenseKind::kPiPoMonitor) {
+    const auto& m = sys.monitor();
+    std::printf("monitor accesses      %llu\n",
+                static_cast<unsigned long long>(m.accesses()));
+    std::printf("monitor captures      %llu\n",
+                static_cast<unsigned long long>(m.captures()));
+    std::printf("monitor prefetches    %llu\n",
+                static_cast<unsigned long long>(m.prefetches_issued()));
+    std::printf("filter occupancy      %.3f\n", m.filter().occupancy());
+    std::printf("autonomic deletions   %llu\n",
+                static_cast<unsigned long long>(
+                    m.filter().autonomic_deletions()));
+  }
+}
+
+int run_mix_cmd(int argc, char** argv) {
+  if (argc < 3) usage();
+  const unsigned mix = static_cast<unsigned>(std::atoi(argv[2]));
+  const Options o = parse_options(argc, argv, 3);
+  const auto r = run_mix_perf(mix, o.system, o.instr, o.system.seed,
+                              o.ws_div);
+  std::printf("mix%u on %s, %llu instructions/core (working sets /%llu)\n\n",
+              mix, to_string(o.system.defense),
+              static_cast<unsigned long long>(o.instr),
+              static_cast<unsigned long long>(o.ws_div));
+  std::printf("execution time        %llu cycles\n",
+              static_cast<unsigned long long>(r.exec_time));
+  std::printf("false positives / Mi  %.1f\n", r.false_positives_per_mi);
+  std::ostringstream os;
+  r.stats.dump(os);
+  std::printf("%s", os.str().c_str());
+  return 0;
+}
+
+int run_trace_cmd(int argc, char** argv) {
+  if (argc < 3) usage();
+  const Options o = parse_options(argc, argv, 3);
+  auto trace = load_trace_file(argv[2]);
+  std::printf("replaying %zu requests on core %u (%s)\n\n", trace.size(),
+              o.core, to_string(o.system.defense));
+  Simulation sim(o.system);
+  for (CoreId c = 0; c < o.system.num_cores; ++c) {
+    if (c == o.core) {
+      sim.set_workload(c, std::make_unique<TraceWorkload>(std::move(trace)));
+    } else {
+      sim.set_workload(c, std::make_unique<IdleWorkload>());
+    }
+  }
+  const Tick end = sim.run();
+  std::printf("finished at tick      %llu\n",
+              static_cast<unsigned long long>(end));
+  dump_system(sim.system(), sim.total_instructions());
+  return 0;
+}
+
+int run_attack_cmd(int argc, char** argv) {
+  const Options o = parse_options(argc, argv, 2);
+  PrimeProbeExperimentConfig cfg;
+  cfg.system = o.system;
+  cfg.iterations = o.iters;
+  cfg.interval = o.interval;
+  cfg.key = make_test_key(o.iters, cfg.seed);
+  const auto r = run_prime_probe_experiment(cfg);
+  std::printf("Prime+Probe on %s, %u iterations @ %llu cycles\n\n",
+              to_string(o.system.defense), o.iters,
+              static_cast<unsigned long long>(o.interval));
+  std::printf("key bits  ");
+  for (bool b : r.truth_multiply) std::printf("%c", b ? '1' : '0');
+  std::printf("\nsquare    ");
+  for (bool b : r.observed[0]) std::printf("%c", b ? '*' : '.');
+  std::printf("\nmultiply  ");
+  for (bool b : r.observed[1]) std::printf("%c", b ? '*' : '.');
+  std::printf("\n\nkey-recovery accuracy %.1f%%\n", 100 * r.key_accuracy);
+  std::printf("monitor captures      %llu\n",
+              static_cast<unsigned long long>(r.monitor_captures));
+  std::printf("monitor prefetches    %llu\n",
+              static_cast<unsigned long long>(r.monitor_prefetches));
+  std::ostringstream os;
+  r.system_stats.dump(os);
+  std::printf("%s", os.str().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  try {
+    if (std::strcmp(argv[1], "mix") == 0) return run_mix_cmd(argc, argv);
+    if (std::strcmp(argv[1], "trace") == 0) return run_trace_cmd(argc, argv);
+    if (std::strcmp(argv[1], "attack") == 0) {
+      return run_attack_cmd(argc, argv);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pipo_sim: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}

@@ -1,0 +1,59 @@
+#include "analysis/leakage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipo {
+
+LeakageCounts tally(const std::vector<bool>& key,
+                    const std::vector<bool>& observed) {
+  if (key.size() != observed.size()) {
+    throw std::invalid_argument("leakage tally: trace length mismatch");
+  }
+  LeakageCounts c;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    ++c.counts[key[i] ? 1 : 0][observed[i] ? 1 : 0];
+  }
+  return c;
+}
+
+double mutual_information_bits(const LeakageCounts& c) {
+  const double n = static_cast<double>(c.total());
+  if (n == 0) return 0.0;
+  const double pk[2] = {
+      static_cast<double>(c.counts[0][0] + c.counts[0][1]) / n,
+      static_cast<double>(c.counts[1][0] + c.counts[1][1]) / n,
+  };
+  const double po[2] = {
+      static_cast<double>(c.counts[0][0] + c.counts[1][0]) / n,
+      static_cast<double>(c.counts[0][1] + c.counts[1][1]) / n,
+  };
+  double mi = 0.0;
+  for (int k = 0; k < 2; ++k) {
+    for (int o = 0; o < 2; ++o) {
+      const double pko = static_cast<double>(c.counts[k][o]) / n;
+      if (pko > 0.0 && pk[k] > 0.0 && po[o] > 0.0) {
+        mi += pko * std::log2(pko / (pk[k] * po[o]));
+      }
+    }
+  }
+  return std::max(0.0, mi);  // clamp -0.0 from rounding
+}
+
+double best_decoder_accuracy(const LeakageCounts& c) {
+  const double n = static_cast<double>(c.total());
+  if (n == 0) return 0.0;
+  const double direct =
+      static_cast<double>(c.counts[0][0] + c.counts[1][1]) / n;
+  const double inverted =
+      static_cast<double>(c.counts[0][1] + c.counts[1][0]) / n;
+  return std::max(direct, inverted);
+}
+
+double trace_leakage_bits(const std::vector<bool>& key,
+                          const std::vector<bool>& observed) {
+  return mutual_information_bits(tally(key, observed));
+}
+
+}  // namespace pipo

@@ -1,0 +1,51 @@
+// Information-theoretic leakage quantification for attack traces.
+//
+// Fig 6 argues visually that PiPoMonitor destroys the attacker's signal.
+// This module makes the claim quantitative: treat the key bit K and the
+// attacker's per-iteration observation O as a joint binary distribution
+// estimated from the experiment trace and compute the mutual information
+// I(K; O) in bits per iteration. An undefended attack channels ~1 bit of
+// the key per iteration (O tracks K); a perfect defense forces
+// I(K; O) = 0 (O is independent of K, whether constantly-on as in
+// Fig 6(b) or constantly-off).
+//
+// The estimator is the plug-in (maximum-likelihood) estimator over the
+// 2x2 contingency table; with 100-iteration traces its bias
+// (~1/(2N ln 2) per degree of freedom) is far below the effects measured
+// here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pipo {
+
+/// 2x2 contingency counts of (key bit, observation).
+struct LeakageCounts {
+  // counts[k][o]: iterations with key bit k and observation o
+  std::uint64_t counts[2][2] = {{0, 0}, {0, 0}};
+
+  std::uint64_t total() const {
+    return counts[0][0] + counts[0][1] + counts[1][0] + counts[1][1];
+  }
+};
+
+/// Tallies the joint distribution of key bits vs observations
+/// (vectors must have equal length).
+LeakageCounts tally(const std::vector<bool>& key,
+                    const std::vector<bool>& observed);
+
+/// Plug-in mutual information I(K; O) in bits (0 on empty input).
+double mutual_information_bits(const LeakageCounts& c);
+
+/// Channel accuracy of the *best* single-threshold decoder: max over the
+/// two decodings (O, !O) of P(decode(O) == K). 0.5 + |correlation|/2 for
+/// a binary channel; 1.0 = perfect leak, 0.5 = nothing (for balanced
+/// keys).
+double best_decoder_accuracy(const LeakageCounts& c);
+
+/// Convenience: I(K; O) straight from the two trace rows.
+double trace_leakage_bits(const std::vector<bool>& key,
+                          const std::vector<bool>& observed);
+
+}  // namespace pipo

@@ -1,0 +1,54 @@
+#include "analysis/overhead_model.h"
+
+#include "common/bitutil.h"
+#include "common/types.h"
+
+namespace pipo {
+
+SramEstimate OverheadModel::from_bits(std::uint64_t bits) {
+  SramEstimate e;
+  e.bits = bits;
+  e.kib = static_cast<double>(bits) / 8.0 / 1024.0;
+  e.area_mm2 = static_cast<double>(bits) * kAreaPerBitMm2;
+  return e;
+}
+
+SramEstimate OverheadModel::filter(const FilterConfig& cfg) const {
+  return from_bits(cfg.storage_bits());
+}
+
+SramEstimate OverheadModel::llc_data() const {
+  return from_bits(llc_.size_bytes * 8);
+}
+
+unsigned OverheadModel::tag_bits_per_line() const {
+  const std::uint64_t sets_per_slice =
+      llc_.num_sets() / slices_;  // aggregate sets split across slices
+  const unsigned index_bits =
+      log2_exact(sets_per_slice) + log2_exact(slices_);
+  // tag + valid + dirty + MESI-ish state (2) + presence bit-vector (4).
+  return (addr_bits_ - kLineShift - index_bits) + 1 + 1 + 2 + 4;
+}
+
+SramEstimate OverheadModel::llc_total() const {
+  const std::uint64_t lines = llc_.num_lines();
+  const std::uint64_t bits =
+      llc_.size_bytes * 8 + lines * tag_bits_per_line();
+  return from_bits(bits);
+}
+
+SramEstimate OverheadModel::directory_extension(
+    unsigned bits_per_line) const {
+  return from_bits(llc_.num_lines() * bits_per_line);
+}
+
+double OverheadModel::storage_ratio(const FilterConfig& cfg) const {
+  return static_cast<double>(filter(cfg).bits) /
+         static_cast<double>(llc_data().bits);
+}
+
+double OverheadModel::area_ratio(const FilterConfig& cfg) const {
+  return filter(cfg).area_mm2 / llc_total().area_mm2;
+}
+
+}  // namespace pipo

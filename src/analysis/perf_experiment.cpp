@@ -1,0 +1,31 @@
+#include "analysis/perf_experiment.h"
+
+#include "sim/simulation.h"
+#include "workload/mixes.h"
+
+namespace pipo {
+
+MixPerfResult run_mix_perf(unsigned mix_number, const SystemConfig& config,
+                           std::uint64_t instr_budget, std::uint64_t seed,
+                           std::uint64_t ws_divisor) {
+  Simulation sim(config);
+  auto workloads = make_mix(mix_number, instr_budget, seed, ws_divisor);
+  for (CoreId c = 0; c < config.num_cores && c < workloads.size(); ++c) {
+    sim.set_workload(c, std::move(workloads[c]));
+  }
+
+  MixPerfResult r;
+  r.mix = mix_number;
+  r.exec_time = sim.run();
+  r.instructions = sim.total_instructions();
+  r.prefetches = sim.system().monitor().prefetches_issued();
+  r.captures = sim.system().monitor().captures();
+  r.false_positives_per_mi =
+      r.instructions
+          ? static_cast<double>(r.prefetches) * 1e6 / r.instructions
+          : 0.0;
+  r.stats = sim.system().stats();
+  return r;
+}
+
+}  // namespace pipo

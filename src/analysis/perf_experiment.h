@@ -1,0 +1,34 @@
+// Fig 8 experiment harness: runs one Table III mix on the simulated
+// 4-core machine and reports execution time and PiPoMonitor activity.
+//
+// The paper's metric definitions (Section VII-B):
+//  * performance = baseline execution time / configuration execution time
+//    (normalized, higher is better);
+//  * false positives = benign cache lines that exhibited Ping-Pong
+//    behavior and triggered a Prefetch, reported per million instructions.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/system.h"
+#include "sim/system_config.h"
+
+namespace pipo {
+
+struct MixPerfResult {
+  unsigned mix = 0;
+  Tick exec_time = 0;               ///< tick at which the last core finished
+  std::uint64_t instructions = 0;   ///< total retired across cores
+  std::uint64_t prefetches = 0;     ///< monitor prefetches = false positives
+  std::uint64_t captures = 0;       ///< Ping-Pong captures in the filter
+  double false_positives_per_mi = 0.0;
+  System::Stats stats;
+};
+
+/// Runs mix `mix_number` (1..10) with `instr_budget` instructions per
+/// core under `config`. Deterministic given `seed`.
+MixPerfResult run_mix_perf(unsigned mix_number, const SystemConfig& config,
+                           std::uint64_t instr_budget, std::uint64_t seed,
+                           std::uint64_t ws_divisor = 1);
+
+}  // namespace pipo

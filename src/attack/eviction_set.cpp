@@ -1,0 +1,25 @@
+#include "attack/eviction_set.h"
+
+namespace pipo {
+
+std::vector<Addr> build_eviction_set(const LlcGeometry& geo, Addr target,
+                                     std::size_t count, Addr attacker_base) {
+  const LineAddr target_line = line_of(target);
+  const std::uint64_t stride = geo.stride_lines();
+  const LineAddr residue = target_line % stride;
+
+  // First congruent line at or above the attacker's region.
+  LineAddr base_line = line_of(attacker_base);
+  LineAddr first = base_line - (base_line % stride) + residue;
+  if (first < base_line) first += stride;
+
+  std::vector<Addr> set;
+  set.reserve(count);
+  for (LineAddr l = first; set.size() < count; l += stride) {
+    if (l == target_line) continue;  // never include the victim itself
+    set.push_back(byte_of(l));
+  }
+  return set;
+}
+
+}  // namespace pipo

@@ -1,0 +1,48 @@
+// LLC eviction-set construction.
+//
+// The cross-core attacker (Liu et al., S&P'15) needs `ways` distinct lines
+// mapping to the same LLC slice and set as a target address. The threat
+// model grants the attacker knowledge of the LLC geometry (slice count,
+// sets, ways) — standard for the Prime+Probe literature, where slice
+// hashes and set indexing are recovered offline. With the simulator's
+// interleaving (slice = low line bits, set = next bits), congruent lines
+// are exactly those at stride slice_count * sets_per_slice lines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/system_config.h"
+
+namespace pipo {
+
+/// LLC set/slice geometry snapshot used for congruence computations.
+struct LlcGeometry {
+  std::uint32_t slices = 4;
+  std::uint64_t sets_per_slice = 1024;
+  std::uint32_t ways = 16;
+
+  static LlcGeometry from(const SystemConfig& cfg) {
+    CacheConfig per_slice = cfg.l3;
+    per_slice.size_bytes /= cfg.l3_slices;
+    return LlcGeometry{cfg.l3_slices, per_slice.num_sets(), cfg.l3.ways};
+  }
+
+  /// Lines congruent to each other repeat at this line stride.
+  std::uint64_t stride_lines() const {
+    return static_cast<std::uint64_t>(slices) * sets_per_slice;
+  }
+
+  bool congruent(LineAddr a, LineAddr b) const {
+    return (a % stride_lines()) == (b % stride_lines());
+  }
+};
+
+/// Builds `count` byte addresses, all LLC-congruent with `target`, none
+/// equal to it, drawn from the attacker's own region at/above
+/// `attacker_base`.
+std::vector<Addr> build_eviction_set(const LlcGeometry& geo, Addr target,
+                                     std::size_t count, Addr attacker_base);
+
+}  // namespace pipo

@@ -1,0 +1,68 @@
+// Defense-aware adversary experiments against the Auto-Cuckoo filter
+// (Section VI-B): before the victim's re-accesses shape the target record
+// into a Ping-Pong, the adversary tries to evict that record from the
+// filter.
+//
+// Two strategies are modeled, both measured with ground-truth assistance
+// (a FilterAudit tracks where the target record really is, so the numbers
+// are *optimistic for the attacker* — a real attacker cannot even tell
+// when the eviction succeeded):
+//
+//  * Brute force — fill the filter with fresh random addresses; at full
+//    occupancy each fill autonomically deletes ~1 record, so the expected
+//    fills to evict the target is b*l (paper: 8192 at 1024x8).
+//
+//  * Targeted (reverse-engineering) — fill only addresses with a
+//    candidate bucket equal to the target's bucket. At MNK = 0 the
+//    dropped record comes from that bucket and the attack is linear
+//    (~2b fills). Every additional permitted relocation moves the drop
+//    one random hop away from the filled bucket, multiplying the
+//    required eviction-set size by b (Fig 7: b^(MNK+1)); measured cost
+//    explodes accordingly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "filter/filter_config.h"
+
+namespace pipo {
+
+struct EvictionCostResult {
+  FilterConfig config;
+  std::uint32_t trials = 0;
+  double mean_fills = 0.0;    ///< average filter accesses to evict target
+  double max_fills = 0.0;
+  std::uint32_t censored = 0;  ///< trials hitting the per-trial fill cap
+  double theory = 0.0;         ///< the paper's analytical expectation
+};
+
+/// Brute-force attack: random fills until the target record is dropped.
+/// theory = b * l (Section VI-B: P(evict) = 1/(b*l) per fill).
+EvictionCostResult brute_force_attack(const FilterConfig& cfg,
+                                      std::uint32_t trials,
+                                      std::uint64_t seed,
+                                      std::uint64_t fill_cap = 2'000'000);
+
+/// Targeted attack: fills whose candidate buckets include the target's
+/// resident bucket. theory = b^(MNK+1) (Fig 7's eviction-set size).
+EvictionCostResult targeted_attack(const FilterConfig& cfg,
+                                   std::uint32_t trials, std::uint64_t seed,
+                                   std::uint64_t fill_cap = 2'000'000);
+
+/// The false-deletion attack on a CLASSIC cuckoo filter (Section V-A):
+/// the adversary searches its address space for an alias of the target
+/// (same fingerprint and candidate buckets) and calls the filter's
+/// erase() on it, removing the victim's record. Returns the number of
+/// candidate addresses scanned before a usable alias was found (expected
+/// ~2^f / 2 / ... — small enough to be practical), demonstrating why the
+/// Auto-Cuckoo filter removes manual deletion.
+struct FalseDeletionResult {
+  std::uint64_t scanned = 0;   ///< addresses tested to find the alias
+  bool target_removed = false; ///< erase(alias) removed the target record
+};
+FalseDeletionResult false_deletion_attack(const FilterConfig& cfg,
+                                          std::uint64_t seed,
+                                          std::uint64_t scan_cap = 50'000'000);
+
+}  // namespace pipo

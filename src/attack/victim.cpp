@@ -1,0 +1,59 @@
+#include "attack/victim.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace pipo {
+
+SquareMultiplyVictim::SquareMultiplyVictim(VictimConfig cfg)
+    : cfg_(std::move(cfg)) {
+  if (cfg_.key.empty()) {
+    throw std::invalid_argument("victim key must be non-empty");
+  }
+  if (cfg_.multiply_phase >= cfg_.bit_period) {
+    throw std::invalid_argument("multiply phase must fall within the period");
+  }
+}
+
+std::optional<MemRequest> SquareMultiplyVictim::next(Tick now) {
+  while (iter_ < cfg_.iterations) {
+    const Tick period_start =
+        cfg_.start_offset + static_cast<Tick>(iter_) * cfg_.bit_period;
+    if (!did_square_) {
+      did_square_ = true;
+      const Tick when = period_start;
+      MemRequest req;
+      req.addr = cfg_.square_addr;
+      req.type = AccessType::kInstFetch;
+      req.pre_delay =
+          when > now ? static_cast<std::uint32_t>(when - now) : 0;
+      return req;
+    }
+    const bool bit = key_bit(iter_);
+    // Square issued; multiply (1-bits only), then advance the iteration.
+    if (bit) {
+      const Tick when = period_start + cfg_.multiply_phase;
+      ++iter_;
+      did_square_ = false;
+      MemRequest req;
+      req.addr = cfg_.multiply_addr;
+      req.type = AccessType::kInstFetch;
+      req.pre_delay =
+          when > now ? static_cast<std::uint32_t>(when - now) : 0;
+      return req;
+    }
+    ++iter_;
+    did_square_ = false;
+  }
+  return std::nullopt;
+}
+
+std::vector<bool> make_test_key(std::size_t bits, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> key(bits);
+  for (std::size_t i = 0; i < bits; ++i) key[i] = rng.chance(0.5);
+  return key;
+}
+
+}  // namespace pipo

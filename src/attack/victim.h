@@ -1,0 +1,54 @@
+// Square-and-Multiply victim (Section VI-A).
+//
+// Models GnuPG 1.4.13's modular exponentiation: the key is processed from
+// high to low bits, one bit per iteration; every iteration executes the
+// square routine, and iterations whose key bit is 1 additionally execute
+// the multiply routine. The side channel is the *instruction-fetch
+// address pattern* of the two routine entry points, which this workload
+// reproduces exactly: an instruction fetch of `square_addr` at the start
+// of each bit period and, for 1-bits, a fetch of `multiply_addr` half a
+// period later. (The arithmetic itself is irrelevant to the channel and
+// is modeled as the compute delay between fetches.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/workload_if.h"
+
+namespace pipo {
+
+struct VictimConfig {
+  Addr square_addr = 0;
+  Addr multiply_addr = 0;
+  std::vector<bool> key;        ///< exponent bits, high to low
+  Tick bit_period = 5000;       ///< cycles per key-bit iteration
+  Tick multiply_phase = 2500;   ///< offset of the multiply fetch in a period
+  Tick start_offset = 64;       ///< first iteration start tick
+  std::uint32_t iterations = 102;  ///< key-bit iterations to execute
+};
+
+class SquareMultiplyVictim final : public Workload {
+ public:
+  explicit SquareMultiplyVictim(VictimConfig cfg);
+
+  std::optional<MemRequest> next(Tick now) override;
+
+  /// Key bit processed during iteration `i` (wraps around the key).
+  bool key_bit(std::uint32_t i) const {
+    return cfg_.key[i % cfg_.key.size()];
+  }
+  const VictimConfig& config() const { return cfg_; }
+
+ private:
+  VictimConfig cfg_;
+  std::uint32_t iter_ = 0;
+  bool did_square_ = false;  ///< square fetch of current iteration issued
+};
+
+/// Derives a deterministic pseudo-random key of `bits` bits from `seed`
+/// (stand-in for the GnuPG private exponent).
+std::vector<bool> make_test_key(std::size_t bits, std::uint64_t seed);
+
+}  // namespace pipo

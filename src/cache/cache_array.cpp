@@ -1,0 +1,94 @@
+#include "cache/cache_array.h"
+
+#include <cassert>
+
+namespace pipo {
+
+CacheArray::CacheArray(const CacheConfig& cfg, unsigned index_shift,
+                       std::uint64_t seed)
+    : cfg_(cfg),
+      index_shift_(index_shift),
+      sets_(cfg.num_sets()),
+      set_mask_(sets_ - 1),
+      lines_(sets_ * cfg.ways),
+      repl_(ReplacementPolicy::create(cfg.repl, sets_, cfg.ways, seed)) {
+  cfg.validate();
+}
+
+std::optional<CacheSlot> CacheArray::lookup(LineAddr line) const {
+  const std::size_t set = set_of(line);
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    const CacheLine& l = lines_[set * cfg_.ways + w];
+    if (l.valid && l.addr == line) return CacheSlot{set, w};
+  }
+  return std::nullopt;
+}
+
+CacheArray::FillResult CacheArray::fill(LineAddr line_addr,
+                                        VictimChooser* chooser) {
+  assert(!lookup(line_addr) && "fill() of an already-resident line");
+  const std::size_t set = set_of(line_addr);
+
+  // Prefer a free way.
+  std::uint32_t way = cfg_.ways;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (!lines_[set * cfg_.ways + w].valid) {
+      way = w;
+      break;
+    }
+  }
+
+  std::optional<EvictedLine> evicted;
+  if (way == cfg_.ways) {
+    std::optional<std::uint32_t> override_way;
+    if (chooser) {
+      override_way = chooser->choose(&lines_[set * cfg_.ways], cfg_.ways);
+      assert(!override_way || *override_way < cfg_.ways);
+    }
+    way = override_way ? *override_way : repl_->victim(set);
+    evicted = snapshot(lines_[set * cfg_.ways + way]);
+  }
+
+  CacheLine& l = lines_[set * cfg_.ways + way];
+  l = CacheLine{};
+  l.valid = true;
+  l.addr = line_addr;
+  repl_->on_fill(set, way);
+  return FillResult{CacheSlot{set, way}, evicted};
+}
+
+std::optional<EvictedLine> CacheArray::invalidate(LineAddr line_addr) {
+  const auto slot = lookup(line_addr);
+  if (!slot) return std::nullopt;
+  CacheLine& l = line(*slot);
+  EvictedLine out = snapshot(l);
+  l = CacheLine{};
+  repl_->on_invalidate(slot->set, slot->way);
+  return out;
+}
+
+std::uint32_t CacheArray::valid_in_set(std::size_t set) const {
+  std::uint32_t n = 0;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    n += lines_[set * cfg_.ways + w].valid ? 1 : 0;
+  }
+  return n;
+}
+
+std::uint64_t CacheArray::valid_count() const {
+  std::uint64_t n = 0;
+  for (const CacheLine& l : lines_) n += l.valid ? 1 : 0;
+  return n;
+}
+
+void CacheArray::clear() {
+  for (CacheLine& l : lines_) l = CacheLine{};
+}
+
+EvictedLine CacheArray::snapshot(const CacheLine& l) {
+  assert(l.valid);
+  return EvictedLine{l.addr,     l.state,  l.dirty,      l.presence,
+                     l.pp_tag,   l.pp_accessed, l.ever_written};
+}
+
+}  // namespace pipo

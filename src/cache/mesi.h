@@ -1,0 +1,35 @@
+// MESI coherence states for private-cache lines (Table II: the simulated
+// machine runs the MESI protocol between the per-core L1/L2 caches through
+// an inclusive, directory-tracking shared L3).
+#pragma once
+
+#include <cstdint>
+
+namespace pipo {
+
+enum class Mesi : std::uint8_t {
+  kInvalid = 0,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+constexpr const char* to_string(Mesi s) {
+  switch (s) {
+    case Mesi::kInvalid: return "I";
+    case Mesi::kShared: return "S";
+    case Mesi::kExclusive: return "E";
+    case Mesi::kModified: return "M";
+  }
+  return "?";
+}
+
+/// True when the state grants write permission without a bus transaction.
+constexpr bool can_write(Mesi s) {
+  return s == Mesi::kModified || s == Mesi::kExclusive;
+}
+
+/// True when the line holds data the memory does not (writeback needed).
+constexpr bool is_dirty(Mesi s) { return s == Mesi::kModified; }
+
+}  // namespace pipo

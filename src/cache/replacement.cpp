@@ -1,0 +1,66 @@
+#include "cache/replacement.h"
+
+#include <stdexcept>
+
+#include "common/bitutil.h"
+
+namespace pipo {
+
+const char* to_string(ReplPolicy p) {
+  switch (p) {
+    case ReplPolicy::kLru: return "lru";
+    case ReplPolicy::kRandom: return "random";
+    case ReplPolicy::kTreePlru: return "tree-plru";
+    case ReplPolicy::kSrrip: return "srrip";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplacementPolicy> ReplacementPolicy::create(
+    ReplPolicy kind, std::size_t sets, std::uint32_t ways,
+    std::uint64_t seed) {
+  switch (kind) {
+    case ReplPolicy::kLru:
+      return std::make_unique<LruPolicy>(sets, ways);
+    case ReplPolicy::kRandom:
+      return std::make_unique<RandomPolicy>(ways, seed);
+    case ReplPolicy::kTreePlru:
+      return std::make_unique<TreePlruPolicy>(sets, ways);
+    case ReplPolicy::kSrrip:
+      return std::make_unique<SrripPolicy>(sets, ways);
+  }
+  throw std::invalid_argument("unknown replacement policy");
+}
+
+TreePlruPolicy::TreePlruPolicy(std::size_t sets, std::uint32_t ways)
+    : ways_(ways), levels_(log2_exact(ways)), bits_(sets * (ways - 1), 0) {
+  if (!is_pow2(ways)) {
+    throw std::invalid_argument("TreePLRU requires power-of-two ways");
+  }
+}
+
+void TreePlruPolicy::touch(std::size_t set, std::uint32_t way) {
+  // Walk from the root toward `way`, pointing every node AWAY from it.
+  std::uint8_t* tree = &bits_[set * (ways_ - 1)];
+  std::uint32_t node = 0;
+  for (std::uint32_t level = 0; level < levels_; ++level) {
+    const std::uint32_t bit = (way >> (levels_ - 1 - level)) & 1u;
+    tree[node] = static_cast<std::uint8_t>(bit ^ 1u);  // point to sibling
+    node = 2 * node + 1 + bit;
+  }
+}
+
+std::uint32_t TreePlruPolicy::victim(std::size_t set) {
+  // Follow the pointers from the root; they indicate the PLRU leaf.
+  const std::uint8_t* tree = &bits_[set * (ways_ - 1)];
+  std::uint32_t node = 0;
+  std::uint32_t way = 0;
+  for (std::uint32_t level = 0; level < levels_; ++level) {
+    const std::uint32_t bit = tree[node];
+    way = (way << 1) | bit;
+    node = 2 * node + 1 + bit;
+  }
+  return way;
+}
+
+}  // namespace pipo

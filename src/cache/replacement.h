@@ -1,0 +1,141 @@
+// Replacement policies for set-associative caches.
+//
+// The paper's gem5 baseline uses LRU; we additionally provide Random,
+// Tree-PLRU and SRRIP so the sensitivity of the attack/defense to the
+// LLC replacement policy can be studied (the Prime+Probe literature's
+// eviction strategies assume LRU-like behaviour).
+//
+// A policy instance owns the metadata for ALL sets of one cache array and
+// is driven by three events: on_fill, on_access (hit), and victim
+// selection. Way indices returned by victim() are always valid ways; the
+// caller is responsible for preferring invalid (free) ways before asking
+// for a victim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "cache/cache_config.h"
+
+namespace pipo {
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// A line was filled into (set, way).
+  virtual void on_fill(std::size_t set, std::uint32_t way) = 0;
+  /// A line at (set, way) was hit.
+  virtual void on_access(std::size_t set, std::uint32_t way) = 0;
+  /// Chooses the way to evict from `set`.
+  virtual std::uint32_t victim(std::size_t set) = 0;
+  /// A line at (set, way) was invalidated (back-invalidation / coherence).
+  virtual void on_invalidate(std::size_t set, std::uint32_t way) {
+    (void)set; (void)way;
+  }
+
+  static std::unique_ptr<ReplacementPolicy> create(ReplPolicy kind,
+                                                   std::size_t sets,
+                                                   std::uint32_t ways,
+                                                   std::uint64_t seed);
+};
+
+/// True LRU via per-line monotonically increasing access stamps.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(std::size_t sets, std::uint32_t ways)
+      : ways_(ways), stamp_(sets * ways, 0) {}
+  void on_fill(std::size_t set, std::uint32_t way) override { touch(set, way); }
+  void on_access(std::size_t set, std::uint32_t way) override { touch(set, way); }
+  std::uint32_t victim(std::size_t set) override {
+    std::uint32_t best = 0;
+    std::uint64_t best_stamp = stamp_[set * ways_];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+      if (stamp_[set * ways_ + w] < best_stamp) {
+        best_stamp = stamp_[set * ways_ + w];
+        best = w;
+      }
+    }
+    return best;
+  }
+  void on_invalidate(std::size_t set, std::uint32_t way) override {
+    stamp_[set * ways_ + way] = 0;  // invalid lines look oldest
+  }
+
+ private:
+  void touch(std::size_t set, std::uint32_t way) {
+    stamp_[set * ways_ + way] = ++clock_;
+  }
+  std::uint32_t ways_;
+  std::uint64_t clock_ = 0;
+  std::vector<std::uint64_t> stamp_;
+};
+
+/// Uniform-random victim selection.
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(std::uint32_t ways, std::uint64_t seed)
+      : ways_(ways), rng_(seed) {}
+  void on_fill(std::size_t, std::uint32_t) override {}
+  void on_access(std::size_t, std::uint32_t) override {}
+  std::uint32_t victim(std::size_t) override {
+    return static_cast<std::uint32_t>(rng_.below(ways_));
+  }
+
+ private:
+  std::uint32_t ways_;
+  Rng rng_;
+};
+
+/// Tree pseudo-LRU (binary decision tree per set), the policy most
+/// commercial L1/L2 caches implement. Requires power-of-two ways.
+class TreePlruPolicy final : public ReplacementPolicy {
+ public:
+  TreePlruPolicy(std::size_t sets, std::uint32_t ways);
+  void on_fill(std::size_t set, std::uint32_t way) override { touch(set, way); }
+  void on_access(std::size_t set, std::uint32_t way) override { touch(set, way); }
+  std::uint32_t victim(std::size_t set) override;
+
+ private:
+  void touch(std::size_t set, std::uint32_t way);
+  std::uint32_t ways_;
+  std::uint32_t levels_;
+  // One bit per internal tree node, ways_-1 nodes per set.
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Static RRIP (SRRIP-HP, Jaleel et al. ISCA'10) with 2-bit re-reference
+/// prediction values: insert at RRPV=2 (long), promote to 0 on hit, evict
+/// the first way with RRPV=3, aging all ways until one appears.
+class SrripPolicy final : public ReplacementPolicy {
+ public:
+  SrripPolicy(std::size_t sets, std::uint32_t ways)
+      : ways_(ways), rrpv_(sets * ways, kMax) {}
+  void on_fill(std::size_t set, std::uint32_t way) override {
+    rrpv_[set * ways_ + way] = kLong;
+  }
+  void on_access(std::size_t set, std::uint32_t way) override {
+    rrpv_[set * ways_ + way] = 0;
+  }
+  std::uint32_t victim(std::size_t set) override {
+    for (;;) {
+      for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (rrpv_[set * ways_ + w] >= kMax) return w;
+      }
+      for (std::uint32_t w = 0; w < ways_; ++w) ++rrpv_[set * ways_ + w];
+    }
+  }
+  void on_invalidate(std::size_t set, std::uint32_t way) override {
+    rrpv_[set * ways_ + way] = kMax;
+  }
+
+ private:
+  static constexpr std::uint8_t kMax = 3;
+  static constexpr std::uint8_t kLong = 2;
+  std::uint32_t ways_;
+  std::vector<std::uint8_t> rrpv_;
+};
+
+}  // namespace pipo

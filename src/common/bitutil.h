@@ -1,0 +1,45 @@
+// Small integer/bit helpers used by cache indexing and the cuckoo filter.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace pipo {
+
+/// True iff v is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Floor of log2(v); v must be nonzero.
+constexpr unsigned log2_floor(std::uint64_t v) {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// Exact log2 for power-of-two inputs (asserted).
+constexpr unsigned log2_exact(std::uint64_t v) {
+  assert(is_pow2(v));
+  return log2_floor(v);
+}
+
+/// Smallest power of two >= v.
+constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  return v <= 1 ? 1 : std::uint64_t{1} << (log2_floor(v - 1) + 1);
+}
+
+/// Extracts bits [lo, lo+width) of v.
+constexpr std::uint64_t bits(std::uint64_t v, unsigned lo, unsigned width) {
+  return (v >> lo) & ((width >= 64) ? ~std::uint64_t{0}
+                                    : ((std::uint64_t{1} << width) - 1));
+}
+
+/// Mask with the low `width` bits set.
+constexpr std::uint64_t low_mask(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+}
+
+/// Ceiling division for unsigned integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace pipo

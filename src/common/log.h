@@ -1,0 +1,39 @@
+// Minimal leveled logging. Disabled (kWarn) by default so simulations run
+// silently; tests and the examples raise the level to trace protocol
+// decisions. Not thread-safe by design — the simulator is single-threaded,
+// like gem5's event queue.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace pipo {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  template <typename... Args>
+  static void write(LogLevel lvl, const char* tag, const char* fmt,
+                    Args&&... args) {
+    if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+    std::fprintf(stderr, "[%s] ", tag);
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-vararg): printf-style sink.
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fputc('\n', stderr);
+  }
+};
+
+#define PIPO_LOG_ERROR(...) ::pipo::Log::write(::pipo::LogLevel::kError, "error", __VA_ARGS__)
+#define PIPO_LOG_WARN(...) ::pipo::Log::write(::pipo::LogLevel::kWarn, "warn", __VA_ARGS__)
+#define PIPO_LOG_INFO(...) ::pipo::Log::write(::pipo::LogLevel::kInfo, "info", __VA_ARGS__)
+#define PIPO_LOG_DEBUG(...) ::pipo::Log::write(::pipo::LogLevel::kDebug, "debug", __VA_ARGS__)
+#define PIPO_LOG_TRACE(...) ::pipo::Log::write(::pipo::LogLevel::kTrace, "trace", __VA_ARGS__)
+
+}  // namespace pipo

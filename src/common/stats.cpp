@@ -1,0 +1,49 @@
+#include "common/stats.h"
+
+#include <iomanip>
+
+namespace pipo {
+
+const Counter* StatGroup::find_counter(const std::string& dotted_path) const {
+  const auto dot = dotted_path.find('.');
+  if (dot == std::string::npos) {
+    const auto it = counters_.find(dotted_path);
+    return it == counters_.end() ? nullptr : &it->second;
+  }
+  const auto git = groups_.find(dotted_path.substr(0, dot));
+  if (git == groups_.end()) return nullptr;
+  return git->second.find_counter(dotted_path.substr(dot + 1));
+}
+
+void StatGroup::dump(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << name_ << ":\n";
+  for (const auto& [name, c] : counters_) {
+    os << pad << "  " << std::left << std::setw(32) << name << ' '
+       << c.value();
+    const auto dit = descs_.find(name);
+    if (dit != descs_.end() && !dit->second.empty()) {
+      os << "  # " << dit->second;
+    }
+    os << '\n';
+  }
+  for (const auto& [name, a] : accs_) {
+    os << pad << "  " << std::left << std::setw(32) << name
+       << " mean=" << a.mean() << " min=" << a.min() << " max=" << a.max()
+       << " n=" << a.count();
+    const auto dit = descs_.find(name);
+    if (dit != descs_.end() && !dit->second.empty()) {
+      os << "  # " << dit->second;
+    }
+    os << '\n';
+  }
+  for (const auto& [_, g] : groups_) g.dump(os, indent + 1);
+}
+
+void StatGroup::reset_all() {
+  for (auto& [_, c] : counters_) c.reset();
+  for (auto& [_, a] : accs_) a.reset();
+  for (auto& [_, g] : groups_) g.reset_all();
+}
+
+}  // namespace pipo

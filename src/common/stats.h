@@ -1,0 +1,130 @@
+// Lightweight statistics registry, modeled on gem5's Stats framework.
+//
+// Every simulated object (cache, memory controller, PiPoMonitor, core)
+// owns named counters and histograms registered into a StatGroup tree.
+// At the end of a run the tree can be dumped as an indented text report
+// or walked programmatically by the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pipo {
+
+/// A monotonically increasing 64-bit event counter.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  void reset() { value_ = 0; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Mean/min/max/count accumulator for scalar samples (e.g. latencies).
+class Accumulator {
+ public:
+  void sample(double v) {
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    sum_ += v;
+    sum_sq_ += v * v;
+    ++count_;
+  }
+  void reset() { *this = Accumulator{}; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Population variance.
+  double variance() const {
+    if (count_ == 0) return 0.0;
+    const double m = mean();
+    return sum_sq_ / static_cast<double>(count_) - m * m;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0, sum_sq_ = 0.0, min_ = 0.0, max_ = 0.0;
+};
+
+/// Fixed-bucket histogram with overflow bucket; bucket i covers
+/// [i*width, (i+1)*width).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_buckets = 16, double width = 1.0)
+      : width_(width), buckets_(num_buckets, 0) {}
+
+  void sample(double v) {
+    acc_.sample(v);
+    auto idx = static_cast<std::size_t>(v / width_);
+    if (idx >= buckets_.size()) {
+      ++overflow_;
+    } else {
+      ++buckets_[idx];
+    }
+  }
+  void reset() {
+    acc_.reset();
+    overflow_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), std::uint64_t{0});
+  }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  std::uint64_t overflow() const { return overflow_; }
+  double bucket_width() const { return width_; }
+  const Accumulator& summary() const { return acc_; }
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  Accumulator acc_;
+};
+
+/// A named group of statistics. Groups nest, producing gem5-style
+/// dotted stat paths such as `system.l3.slice0.misses`.
+class StatGroup {
+ public:
+  explicit StatGroup(std::string name = "root") : name_(std::move(name)) {}
+
+  StatGroup* add_group(const std::string& name) {
+    auto [it, _] = groups_.try_emplace(name, StatGroup(name));
+    return &it->second;
+  }
+  Counter* add_counter(const std::string& name, std::string desc = "") {
+    auto [it, _] = counters_.try_emplace(name);
+    descs_[name] = std::move(desc);
+    return &it->second;
+  }
+  Accumulator* add_accumulator(const std::string& name, std::string desc = "") {
+    auto [it, _] = accs_.try_emplace(name);
+    descs_[name] = std::move(desc);
+    return &it->second;
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Finds a counter by dotted path relative to this group, or nullptr.
+  const Counter* find_counter(const std::string& dotted_path) const;
+
+  /// Dumps the whole subtree as indented text.
+  void dump(std::ostream& os, int indent = 0) const;
+
+  /// Resets every statistic in the subtree.
+  void reset_all();
+
+ private:
+  std::string name_;
+  std::map<std::string, StatGroup> groups_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Accumulator> accs_;
+  std::map<std::string, std::string> descs_;
+};
+
+}  // namespace pipo

@@ -1,0 +1,105 @@
+// Ground-truth auditor for the (Auto-)Cuckoo filter.
+//
+// Consumes the FilterObserver event stream and mirrors the filter's
+// layout with the *raw addresses* behind every entry. This is what the
+// filter hardware cannot know (it only stores fingerprints) and what
+// Fig 4 of the paper measures: the fraction of entries into which two or
+// more distinct addresses have collided, classified by collision count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "filter/filter_config.h"
+#include "filter/observer.h"
+
+namespace pipo {
+
+class FilterAudit : public FilterObserver {
+ public:
+  explicit FilterAudit(const FilterConfig& cfg)
+      : b_(cfg.b), slots_(static_cast<std::size_t>(cfg.l) * cfg.b) {}
+
+  // --- FilterObserver event stream ---
+  void on_query_hit(LineAddr addr, std::size_t bucket,
+                    std::size_t slot) override {
+    slots_[index(bucket, slot)].insert(addr);
+  }
+  void on_insert_start(LineAddr addr) override {
+    hand_.clear();
+    hand_.insert(addr);
+  }
+  void on_place(std::size_t bucket, std::size_t slot) override {
+    slots_[index(bucket, slot)] = std::move(hand_);
+    hand_.clear();
+  }
+  void on_swap(std::size_t bucket, std::size_t slot) override {
+    std::swap(hand_, slots_[index(bucket, slot)]);
+  }
+  void on_drop() override {
+    dropped_addresses_ += hand_.size();
+    ++drops_;
+    hand_.clear();
+  }
+
+  // --- queries used by tests and the Fig 4 bench ---
+
+  /// Addresses currently merged into entry (bucket, slot). Size 0 means
+  /// the entry is empty; size >= 2 means a fingerprint collision.
+  const std::set<LineAddr>& addresses_at(std::size_t bucket,
+                                         std::size_t slot) const {
+    return slots_[index(bucket, slot)];
+  }
+
+  /// Histogram of entries by number of distinct addresses merged into
+  /// them: result[k] = number of entries holding exactly k addresses
+  /// (k >= 1). Entries with k >= 2 are Fig 4's "fingerprint collision
+  /// entries".
+  std::map<std::size_t, std::uint64_t> collision_histogram() const {
+    std::map<std::size_t, std::uint64_t> hist;
+    for (const auto& s : slots_) {
+      if (!s.empty()) ++hist[s.size()];
+    }
+    return hist;
+  }
+
+  /// Fraction of occupied entries with >= 2 distinct addresses.
+  double collision_entry_ratio() const {
+    std::uint64_t occupied = 0, colliding = 0;
+    for (const auto& s : slots_) {
+      if (s.empty()) continue;
+      ++occupied;
+      if (s.size() >= 2) ++colliding;
+    }
+    return occupied ? static_cast<double>(colliding) /
+                          static_cast<double>(occupied)
+                    : 0.0;
+  }
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t dropped_addresses() const { return dropped_addresses_; }
+
+  /// True iff address `a` is (ground-truth) resident somewhere.
+  bool resident(LineAddr a) const {
+    for (const auto& s : slots_) {
+      if (s.count(a)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::size_t index(std::size_t bucket, std::size_t slot) const {
+    return bucket * b_ + slot;
+  }
+
+  std::size_t b_;
+  std::vector<std::set<LineAddr>> slots_;
+  std::set<LineAddr> hand_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t dropped_addresses_ = 0;
+};
+
+}  // namespace pipo

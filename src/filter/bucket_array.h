@@ -1,0 +1,132 @@
+// Storage shared by the classic Cuckoo filter and the Auto-Cuckoo filter.
+//
+// Mirrors the hardware microarchitecture of Section V-C / Fig 5: an fPrint
+// Array (Valid flag + f-bit fingerprint per entry) and a Data Array (the
+// Security saturating counter) with l sets of b entries each. The two
+// arrays move in lockstep during relocations, exactly as the hardware
+// would move fingerprint and counter together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/types.h"
+#include "filter/filter_config.h"
+#include "filter/hash.h"
+
+namespace pipo {
+
+/// One filter entry as seen by software models; in hardware this is
+/// Valid(1) | fPrint(f) | Security(counter_bits) = 15 bits at the paper's
+/// default configuration.
+struct FilterEntry {
+  bool valid = false;
+  std::uint32_t fprint = 0;    ///< f-bit fingerprint
+  std::uint32_t security = 0;  ///< Security saturating counter
+};
+
+/// l x b matrix of FilterEntry with the partial-key cuckoo hashing index
+/// computations from Section II-B:
+///   h1(x) = hash(x)                 (mod l)
+///   h2(x) = h1(x) XOR hash(fp(x))   (mod l)
+class BucketArray {
+ public:
+  explicit BucketArray(const FilterConfig& cfg)
+      : cfg_(cfg),
+        index_mask_(cfg.l - 1),
+        fprint_mask_(low_mask(cfg.f)),
+        hash1_(cfg.hash_seed),
+        fprint_hash_(cfg.hash_seed ^ 0x94D049BB133111EBull),
+        alt_hash_(cfg.hash_seed ^ 0xD6E8FEB86659FD93ull),
+        entries_(static_cast<std::size_t>(cfg.l) * cfg.b) {
+    cfg.validate();
+  }
+
+  const FilterConfig& config() const { return cfg_; }
+
+  /// f-bit fingerprint of a line address (the paper's xi_x).
+  std::uint32_t fingerprint(LineAddr x) const {
+    return static_cast<std::uint32_t>(fprint_hash_(x) & fprint_mask_);
+  }
+
+  /// First candidate bucket (the paper's mu_x).
+  std::size_t bucket1(LineAddr x) const {
+    return static_cast<std::size_t>(hash1_(x) & index_mask_);
+  }
+
+  /// Alternate bucket for a fingerprint currently stored in `bucket`
+  /// (partial-key cuckoo hashing; an involution by XOR construction).
+  std::size_t alt_bucket(std::size_t bucket, std::uint32_t fprint) const {
+    return static_cast<std::size_t>(
+        (bucket ^ alt_hash_(fprint)) & index_mask_);
+  }
+
+  /// Second candidate bucket (the paper's sigma_x).
+  std::size_t bucket2(LineAddr x) const {
+    return alt_bucket(bucket1(x), fingerprint(x));
+  }
+
+  FilterEntry& at(std::size_t bucket, std::size_t slot) {
+    return entries_[bucket * cfg_.b + slot];
+  }
+  const FilterEntry& at(std::size_t bucket, std::size_t slot) const {
+    return entries_[bucket * cfg_.b + slot];
+  }
+
+  /// Index of a valid entry in `bucket` matching `fprint`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find_in_bucket(std::size_t bucket, std::uint32_t fprint) const {
+    for (std::size_t s = 0; s < cfg_.b; ++s) {
+      const FilterEntry& e = at(bucket, s);
+      if (e.valid && e.fprint == fprint) return s;
+    }
+    return npos;
+  }
+
+  /// Index of an invalid (free) entry in `bucket`, or npos if full.
+  std::size_t find_vacancy(std::size_t bucket) const {
+    for (std::size_t s = 0; s < cfg_.b; ++s) {
+      if (!at(bucket, s).valid) return s;
+    }
+    return npos;
+  }
+
+  /// Number of valid entries across the whole array.
+  std::uint64_t valid_count() const {
+    std::uint64_t n = 0;
+    for (const FilterEntry& e : entries_) n += e.valid ? 1 : 0;
+    return n;
+  }
+
+  /// Fraction of entries that are valid, in [0,1].
+  double occupancy() const {
+    return static_cast<double>(valid_count()) /
+           static_cast<double>(entries_.size());
+  }
+
+  void clear() {
+    for (FilterEntry& e : entries_) e = FilterEntry{};
+  }
+
+  /// Visits every entry: fn(bucket, slot, entry).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t bkt = 0; bkt < cfg_.l; ++bkt) {
+      for (std::size_t s = 0; s < cfg_.b; ++s) {
+        fn(bkt, s, at(bkt, s));
+      }
+    }
+  }
+
+ private:
+  FilterConfig cfg_;
+  std::uint64_t index_mask_;
+  std::uint64_t fprint_mask_;
+  MixHash hash1_;
+  MixHash fprint_hash_;
+  MixHash alt_hash_;
+  std::vector<FilterEntry> entries_;
+};
+
+}  // namespace pipo

@@ -1,0 +1,98 @@
+#include "filter/cuckoo_filter.h"
+
+namespace pipo {
+
+bool CuckooFilter::insert(LineAddr x) {
+  // While the victim stash is occupied the filter is declared full (the
+  // reference implementation's behaviour) — further inserts fail without
+  // disturbing resident records.
+  if (stash_.used) {
+    ++failed_inserts_;
+    return false;
+  }
+
+  const std::uint32_t fp = array_.fingerprint(x);
+  const std::size_t b1 = array_.bucket1(x);
+  const std::size_t b2 = array_.alt_bucket(b1, fp);
+  observer_->on_insert_start(x);
+
+  // Fast path: a vacancy in either candidate bucket.
+  for (std::size_t bkt : {b1, b2}) {
+    const std::size_t slot = array_.find_vacancy(bkt);
+    if (slot != BucketArray::npos) {
+      array_.at(bkt, slot) = FilterEntry{true, fp, 0};
+      observer_->on_place(bkt, slot);
+      return true;
+    }
+    if (b1 == b2) break;
+  }
+
+  // Relocation chain (Fan et al., CoNEXT'14): the new fingerprint kicks a
+  // random victim, and displaced fingerprints relocate until a vacancy is
+  // found or MNK relocations are spent.
+  std::size_t bkt = rng_.chance(0.5) ? b1 : b2;
+  std::uint32_t in_hand = fp;
+  {
+    const std::size_t victim_slot = rng_.below(config().b);
+    std::swap(in_hand, array_.at(bkt, victim_slot).fprint);
+    observer_->on_swap(bkt, victim_slot);
+  }
+  for (std::uint32_t relocation = 0; relocation < config().mnk;
+       ++relocation) {
+    ++total_kicks_;
+    bkt = array_.alt_bucket(bkt, in_hand);
+    const std::size_t slot = array_.find_vacancy(bkt);
+    if (slot != BucketArray::npos) {
+      array_.at(bkt, slot) = FilterEntry{true, in_hand, 0};
+      observer_->on_place(bkt, slot);
+      return true;
+    }
+    const std::size_t victim_slot = rng_.below(config().b);
+    std::swap(in_hand, array_.at(bkt, victim_slot).fprint);
+    observer_->on_swap(bkt, victim_slot);
+  }
+
+  // MNK exhausted: the displaced fingerprint parks in the stash and the
+  // insert reports failure. (Note `bkt` is the bucket the fingerprint was
+  // displaced from, so it remains one of its candidate buckets.)
+  stash_ = Stash{true, in_hand, bkt};
+  ++failed_inserts_;
+  observer_->on_drop();
+  return false;
+}
+
+bool CuckooFilter::stash_matches(LineAddr x) const {
+  if (!stash_.used) return false;
+  const std::uint32_t fp = array_.fingerprint(x);
+  if (fp != stash_.fprint) return false;
+  const std::size_t b1 = array_.bucket1(x);
+  return b1 == stash_.bucket || array_.alt_bucket(b1, fp) == stash_.bucket;
+}
+
+bool CuckooFilter::contains(LineAddr x) const {
+  const std::uint32_t fp = array_.fingerprint(x);
+  const std::size_t b1 = array_.bucket1(x);
+  if (array_.find_in_bucket(b1, fp) != BucketArray::npos) return true;
+  const std::size_t b2 = array_.alt_bucket(b1, fp);
+  if (array_.find_in_bucket(b2, fp) != BucketArray::npos) return true;
+  return stash_matches(x);
+}
+
+bool CuckooFilter::erase(LineAddr x) {
+  const std::uint32_t fp = array_.fingerprint(x);
+  const std::size_t b1 = array_.bucket1(x);
+  for (std::size_t bkt : {b1, array_.alt_bucket(b1, fp)}) {
+    const std::size_t slot = array_.find_in_bucket(bkt, fp);
+    if (slot != BucketArray::npos) {
+      array_.at(bkt, slot) = FilterEntry{};
+      return true;
+    }
+  }
+  if (stash_matches(x)) {
+    stash_ = Stash{};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pipo

@@ -1,0 +1,82 @@
+// Configuration and derived analytical properties of the (Auto-)Cuckoo
+// filter, using the paper's notation (Table I):
+//   l       number of buckets
+//   b       entries per bucket
+//   f       fingerprint length in bits
+//   secThr  Security counter threshold marking a Ping-Pong pattern
+//   MNK     maximal number of kicks before autonomic deletion
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bitutil.h"
+
+namespace pipo {
+
+struct FilterConfig {
+  std::uint32_t l = 1024;        ///< buckets (power of two)
+  std::uint32_t b = 8;           ///< entries per bucket
+  std::uint32_t f = 12;          ///< fingerprint bits (1..32)
+  std::uint32_t sec_thr = 3;     ///< secThr — Ping-Pong threshold
+  std::uint32_t mnk = 4;         ///< MNK — maximal number of kicks
+  std::uint32_t counter_bits = 2;  ///< width of the Security counter
+  std::uint64_t hash_seed = 0x5851F42D4C957F2Dull;  ///< seeds Hash1/fPrintHash
+
+  /// Total entries in the filter (l x b).
+  std::uint64_t entries() const {
+    return static_cast<std::uint64_t>(l) * b;
+  }
+
+  /// Saturation value of the Security counter (all-ones).
+  std::uint32_t counter_max() const { return (1u << counter_bits) - 1; }
+
+  /// Upper bound of the false positive rate per Section V-B:
+  /// eps = 1 - (1 - 1/2^f)^(2b) ~= 2b / 2^f.
+  double false_positive_rate() const {
+    return 1.0 - std::pow(1.0 - std::ldexp(1.0, -static_cast<int>(f)),
+                          2.0 * b);
+  }
+
+  /// The paper's closed-form approximation 2b/2^f.
+  double false_positive_rate_approx() const {
+    return std::ldexp(2.0 * b, -static_cast<int>(f));
+  }
+
+  /// Storage in bits: every entry holds Valid(1) + fPrint(f) +
+  /// Security(counter_bits), per the microarchitecture in Section V-C.
+  std::uint64_t storage_bits() const {
+    return entries() * (1 + f + counter_bits);
+  }
+  double storage_kib() const {
+    return static_cast<double>(storage_bits()) / 8.0 / 1024.0;
+  }
+
+  /// Throws std::invalid_argument on an unrealizable configuration.
+  void validate() const {
+    if (l == 0 || !is_pow2(l)) {
+      throw std::invalid_argument("FilterConfig: l must be a power of two, got " +
+                                  std::to_string(l));
+    }
+    if (b == 0) throw std::invalid_argument("FilterConfig: b must be >= 1");
+    if (f == 0 || f > 32) {
+      throw std::invalid_argument("FilterConfig: f must be in [1,32], got " +
+                                  std::to_string(f));
+    }
+    if (counter_bits == 0 || counter_bits > 8) {
+      throw std::invalid_argument("FilterConfig: counter_bits must be in [1,8]");
+    }
+    if (sec_thr > counter_max()) {
+      throw std::invalid_argument(
+          "FilterConfig: secThr exceeds the Security counter saturation value");
+    }
+  }
+
+  /// The paper's default configuration (Table II):
+  /// l=1024, b=8, f=12, eps=0.004, secThr=3, MNK=4.
+  static FilterConfig paper_default() { return FilterConfig{}; }
+};
+
+}  // namespace pipo

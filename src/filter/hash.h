@@ -1,0 +1,67 @@
+// Hash functions for the (Auto-)Cuckoo filter.
+//
+// The paper's microarchitecture (Fig 5) has three combinational hash
+// modules: Hash1 (address -> bucket index), fPrintHash (address ->
+// fingerprint) and the fingerprint re-hash used to derive the alternate
+// bucket (h2(x) = h1(x) XOR hash(fp)). All three must be cheap enough for
+// single-cycle hardware. We provide two families:
+//
+//  * MixHash      — a SplitMix64/Murmur3-style finalizer. 3 multiplies +
+//                   shifts; the software default (excellent avalanche).
+//  * TabulationHash — classic H3 hashing: XOR of seeded table lookups per
+//                   input byte. This is the textbook hardware-friendly
+//                   construction (pure XOR trees after table lookup) and is
+//                   3-independent; used by tests to show the filter's
+//                   behaviour does not depend on the hash family.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace pipo {
+
+/// Stateless seeded mixing hash (SplitMix64 finalizer over x + seed).
+class MixHash {
+ public:
+  explicit MixHash(std::uint64_t seed = 0xA0761D6478BD642Full) : seed_(seed) {}
+
+  std::uint64_t operator()(std::uint64_t x) const {
+    std::uint64_t z = x + seed_ + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// H3 tabulation hashing over the 8 bytes of a 64-bit key:
+/// h(x) = T0[x&0xff] ^ T1[(x>>8)&0xff] ^ ... ^ T7[(x>>56)&0xff].
+/// Each table holds 256 random 64-bit words derived from the seed.
+class TabulationHash {
+ public:
+  explicit TabulationHash(std::uint64_t seed = 0x243F6A8885A308D3ull) {
+    Rng rng(seed);
+    for (auto& table : tables_) {
+      for (auto& word : table) word = rng.next();
+    }
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const {
+    std::uint64_t h = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      h ^= tables_[i][(x >> (8 * i)) & 0xFF];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace pipo

@@ -1,0 +1,63 @@
+// Observation hooks into the (Auto-)Cuckoo filter.
+//
+// The filter itself only stores fingerprints and therefore cannot know
+// whether a fingerprint match is a genuine re-access or a collision
+// between distinct addresses. The evaluation (Fig 4) needs that ground
+// truth, and the security analyses need to follow relocation chains.
+// Rather than polluting the filter with debug state, the filter emits a
+// totally ordered event stream through this interface; auditors
+// reconstruct exact per-entry address sets from it.
+//
+// Event grammar for one operation:
+//   query hit:      on_query_hit(addr, bucket, slot)
+//   query miss ->   on_insert_start(addr)
+//     then a sequence of:
+//       on_place(bucket, slot)     in-hand item stored into a vacancy (ends op)
+//       on_swap(bucket, slot)      in-hand item stored, previous occupant
+//                                  becomes the new in-hand item
+//       on_drop()                  in-hand item discarded (autonomic
+//                                  deletion; ends op)
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace pipo {
+
+class FilterObserver {
+ public:
+  virtual ~FilterObserver() = default;
+
+  /// Query matched a valid entry; addr merged into (bucket, slot).
+  virtual void on_query_hit(LineAddr addr, std::size_t bucket,
+                            std::size_t slot) {
+    (void)addr; (void)bucket; (void)slot;
+  }
+
+  /// A new item enters the filter; it is now "in hand".
+  virtual void on_insert_start(LineAddr addr) { (void)addr; }
+
+  /// In-hand item written to an empty slot. Ends the insert.
+  virtual void on_place(std::size_t bucket, std::size_t slot) {
+    (void)bucket; (void)slot;
+  }
+
+  /// In-hand item written to (bucket, slot); the displaced occupant is the
+  /// new in-hand item (one "kick" of the relocation chain).
+  virtual void on_swap(std::size_t bucket, std::size_t slot) {
+    (void)bucket; (void)slot;
+  }
+
+  /// In-hand item discarded — the Auto-Cuckoo filter's autonomic deletion
+  /// (or, for the classic filter, the stash overflowing on failed insert).
+  virtual void on_drop() {}
+};
+
+/// Shared no-op instance used when no auditing is requested.
+inline FilterObserver& null_observer() {
+  static FilterObserver instance;
+  return instance;
+}
+
+}  // namespace pipo

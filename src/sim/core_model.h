@@ -1,0 +1,66 @@
+// In-order core model: executes its workload's instruction stream at one
+// instruction per cycle, blocking on every memory access (single
+// outstanding miss). This is gem5's TimingSimpleCPU discipline — exactly
+// the CPU model class the paper's evaluation platform uses for memory-
+// system studies — and it preserves what matters here: the dependence of
+// execution time on per-access latency, and cycle-accurate cross-core
+// interleaving of LLC traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/system.h"
+#include "sim/workload_if.h"
+
+namespace pipo {
+
+class CoreModel {
+ public:
+  CoreModel(CoreId id, System* system, EventQueue* queue, Workload* workload)
+      : id_(id), system_(system), queue_(queue), workload_(workload) {}
+
+  /// Schedules the first instruction at `start`.
+  void start(Tick start_tick) { queue_->schedule(start_tick, [this] { step(); }); }
+
+  bool done() const { return done_; }
+  Tick finish_tick() const { return finish_tick_; }
+  CoreId id() const { return id_; }
+
+  /// Retired instructions: one per memory access plus every pre_delay
+  /// cycle of non-memory work.
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint64_t mem_accesses() const { return mem_accesses_; }
+
+ private:
+  void step() {
+    const auto req = workload_->next(queue_->now());
+    if (!req) {
+      done_ = true;
+      finish_tick_ = queue_->now();
+      return;
+    }
+    const Tick issue = queue_->now() + req->pre_delay;
+    queue_->schedule(issue, [this, r = *req] {
+      const Tick issued = queue_->now();
+      const System::AccessOutcome out =
+          system_->access(issued, id_, r.addr, r.type, r.bypass_private);
+      instructions_ += 1 + r.pre_delay;
+      ++mem_accesses_;
+      workload_->on_complete(r, issued, out.complete);
+      queue_->schedule(out.complete, [this] { step(); });
+    });
+  }
+
+  CoreId id_;
+  System* system_;
+  EventQueue* queue_;
+  Workload* workload_;
+  bool done_ = false;
+  Tick finish_tick_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t mem_accesses_ = 0;
+};
+
+}  // namespace pipo

@@ -1,0 +1,78 @@
+// Discrete-event simulation kernel: a single global event queue ordered by
+// (tick, insertion sequence), the same scheduling discipline as gem5's
+// EventQueue. Single-threaded by design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pipo {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run at absolute tick `when` (>= now()).
+  void schedule(Tick when, Callback fn) {
+    heap_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` to run `delta` ticks from now.
+  void schedule_in(Tick delta, Callback fn) {
+    schedule(now_ + delta, std::move(fn));
+  }
+
+  Tick now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs the earliest event. Returns false when the queue is empty.
+  bool run_one() {
+    if (heap_.empty()) return false;
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs events until the queue empties or the next event is after
+  /// `limit`. Returns the number of events executed.
+  std::uint64_t run_until(Tick limit) {
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= limit) {
+      run_one();
+      ++n;
+    }
+    if (now_ < limit) now_ = limit;
+    return n;
+  }
+
+  /// Drains the queue completely.
+  std::uint64_t run_all() {
+    std::uint64_t n = 0;
+    while (run_one()) ++n;
+    return n;
+  }
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pipo

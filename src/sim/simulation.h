@@ -1,0 +1,69 @@
+// Top-level simulation driver: owns the event queue, the System and one
+// CoreModel per core, runs them to completion and reports per-core and
+// whole-run results. The gem5 `Simulation` object of this reproduction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "filter/observer.h"
+#include "sim/core_model.h"
+#include "sim/event_queue.h"
+#include "sim/system.h"
+#include "sim/system_config.h"
+#include "sim/workload_if.h"
+
+namespace pipo {
+
+class Simulation {
+ public:
+  explicit Simulation(const SystemConfig& cfg,
+                      FilterObserver* filter_observer = nullptr)
+      : cfg_(cfg), system_(cfg, filter_observer) {
+    workloads_.resize(cfg.num_cores);
+  }
+
+  /// Assigns (and takes ownership of) the workload driving `core`.
+  void set_workload(CoreId core, std::unique_ptr<Workload> wl) {
+    if (core >= cfg_.num_cores) throw std::out_of_range("core id");
+    workloads_[core] = std::move(wl);
+  }
+
+  /// Runs until every core's workload finishes or `max_ticks` elapses.
+  /// Returns the tick at which the last core finished (= overall
+  /// execution time, the metric of Fig 8(a)).
+  Tick run(Tick max_ticks = ~Tick{0});
+
+  System& system() { return system_; }
+  const System& system() const { return system_; }
+  EventQueue& queue() { return queue_; }
+
+  const CoreModel& core(CoreId c) const { return *cores_[c]; }
+  std::uint32_t num_cores() const { return cfg_.num_cores; }
+
+  /// Sum of instructions retired across all cores.
+  std::uint64_t total_instructions() const {
+    std::uint64_t n = 0;
+    for (const auto& c : cores_) n += c->instructions();
+    return n;
+  }
+
+  /// Cycles between prefetch-drain wakeups while cores may be idle;
+  /// bounds how late a monitor prefetch can land (default 64).
+  void set_uncore_tick(Tick period) { uncore_period_ = period; }
+
+ private:
+  void schedule_uncore_tick();
+
+  SystemConfig cfg_;
+  System system_;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Workload>> workloads_;
+  std::vector<std::unique_ptr<CoreModel>> cores_;
+  Tick uncore_period_ = 64;
+  Tick run_limit_ = 0;
+};
+
+}  // namespace pipo

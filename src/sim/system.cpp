@@ -1,0 +1,496 @@
+#include "sim/system.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace pipo {
+
+const char* to_string(DefenseKind k) {
+  switch (k) {
+    case DefenseKind::kNone: return "baseline";
+    case DefenseKind::kPiPoMonitor: return "PiPoMonitor";
+    case DefenseKind::kDirectoryMonitor: return "DirectoryMonitor";
+    case DefenseKind::kSharp: return "SHARP";
+    case DefenseKind::kBitp: return "BITP";
+    case DefenseKind::kRic: return "RIC";
+  }
+  return "?";
+}
+
+const char* to_string(HitLevel l) {
+  switch (l) {
+    case HitLevel::kL1: return "L1";
+    case HitLevel::kL2: return "L2";
+    case HitLevel::kL3: return "L3";
+    case HitLevel::kMemory: return "memory";
+  }
+  return "?";
+}
+
+void System::Stats::dump(std::ostream& os) const {
+  os << "accesses              " << accesses << '\n'
+     << "l1_hits               " << l1_hits << '\n'
+     << "l2_hits               " << l2_hits << '\n'
+     << "l3_hits               " << l3_hits << '\n'
+     << "l3_misses             " << l3_misses << '\n'
+     << "back_invalidations    " << back_invalidations << '\n'
+     << "upgrades              " << upgrades << '\n'
+     << "invalidations_for_write " << invalidations_for_write << '\n'
+     << "l2_evictions          " << l2_evictions << '\n'
+     << "writebacks            " << writebacks << '\n'
+     << "prefetch_fills        " << prefetch_fills << '\n'
+     << "prefetch_drops        " << prefetch_drops << '\n'
+     << "pp_tag_fills          " << pp_tag_fills << '\n'
+     << "pevicts               " << pevicts << '\n'
+     << "ric_exemptions        " << ric_exemptions << '\n';
+}
+
+System::System(const SystemConfig& cfg, FilterObserver* filter_observer)
+    : cfg_(cfg) {
+  cfg_.validate();
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    l1i_.push_back(std::make_unique<CacheArray>(cfg_.l1i, 0, cfg_.seed + c));
+    l1d_.push_back(
+        std::make_unique<CacheArray>(cfg_.l1d, 0, cfg_.seed + 100 + c));
+    l2_.push_back(
+        std::make_unique<CacheArray>(cfg_.l2, 0, cfg_.seed + 200 + c));
+  }
+  l3_ = std::make_unique<SlicedCache>(cfg_.l3, cfg_.l3_slices,
+                                      cfg_.seed + 300);
+  mem_ = std::make_unique<MemController>(cfg_.mem);
+
+  // Defense wiring: the PiPoMonitor object always exists (tests and the
+  // baseline address it directly; disabled it is inert); the other
+  // engines are built only for their kind.
+  MonitorConfig mcfg = cfg_.monitor;
+  if (cfg_.defense != DefenseKind::kPiPoMonitor) mcfg.enabled = false;
+  pipo_monitor_ = std::make_unique<PiPoMonitor>(mcfg, filter_observer);
+  switch (cfg_.defense) {
+    case DefenseKind::kPiPoMonitor:
+      active_monitor_ = pipo_monitor_.get();
+      break;
+    case DefenseKind::kDirectoryMonitor:
+      dir_monitor_ = std::make_unique<DirectoryMonitor>(cfg_.dir_monitor);
+      active_monitor_ = dir_monitor_.get();
+      break;
+    case DefenseKind::kBitp:
+      bitp_ = std::make_unique<BitpPrefetcher>(cfg_.bitp);
+      active_monitor_ = bitp_.get();
+      break;
+    case DefenseKind::kSharp:
+      sharp_ = std::make_unique<SharpChooser>(cfg_.seed + 400);
+      [[fallthrough]];
+    case DefenseKind::kRic:
+    case DefenseKind::kNone:
+      null_monitor_ = std::make_unique<NullMonitor>();
+      active_monitor_ = null_monitor_.get();
+      break;
+  }
+}
+
+System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
+                                     AccessType type, bool bypass_private) {
+  assert(core < cfg_.num_cores);
+  drain_prefetches(now);
+  ++stats_.accesses;
+  const LineAddr line = line_of(addr);
+
+  if (bypass_private) {
+    // LLC-direct probe access: reads served by (and filling) the shared
+    // L3 only. Stores are not meaningful in this mode.
+    CacheArray& slice = l3_->slice_for(line);
+    if (auto slot = slice.lookup(line)) {
+      slice.touch(*slot);
+      CacheLine& l3l = slice.line(*slot);
+      if (l3l.pp_tag) l3l.pp_accessed = true;
+      ++stats_.l3_hits;
+      const std::uint32_t lat = cfg_.l3.latency;
+      return AccessOutcome{now + lat, lat, HitLevel::kL3};
+    }
+    const MonitorAccessResult mres = active_monitor_->on_access(line);
+    const Tick done = mem_->fetch(now, line, MemController::Reason::kDemand);
+    const std::uint32_t lat =
+        cfg_.l3.latency + static_cast<std::uint32_t>(done - now);
+    fill_l3(now, line, mres.ping_pong, /*from_prefetch=*/false,
+            kInvalidCore);
+    ++stats_.l3_misses;
+    return AccessOutcome{now + lat, lat, HitLevel::kMemory};
+  }
+
+  CacheArray& l1 = (type == AccessType::kInstFetch) ? *l1i_[core] : *l1d_[core];
+
+  // ---- L1 ----
+  if (auto slot = l1.lookup(line)) {
+    l1.touch(*slot);
+    CacheLine& cl = l1.line(*slot);
+    std::uint32_t lat = l1.config().latency;
+    if (type == AccessType::kStore) {
+      if (!can_write(cl.state)) {
+        // S -> M upgrade: one directory (LLC) round trip.
+        auto l3slot = l3_->lookup(line);
+        if (!l3slot) {
+          // RIC orphan: the private copy outlived its LLC line (relaxed
+          // inclusion). Re-establish the LLC entry before granting
+          // ownership — the write ends the line's read-only exemption.
+          fill_l3(now, line, false, false, core);
+          l3slot = l3_->lookup(line);
+        }
+        make_exclusive(core, line, l3_->line_for(line, *l3slot));
+        ++stats_.upgrades;
+        lat += cfg_.l3.latency;
+      }
+      cl.state = Mesi::kModified;
+      set_l2_state(core, line, Mesi::kModified);
+    }
+    ++stats_.l1_hits;
+    return AccessOutcome{now + lat, lat, HitLevel::kL1};
+  }
+
+  std::uint32_t lat = 0;
+  HitLevel level;
+  Mesi fill_state;
+  bool l2_has = false;
+
+  // ---- L2 ----
+  if (auto slot = l2_[core]->lookup(line)) {
+    l2_[core]->touch(*slot);
+    CacheLine& cl = l2_[core]->line(*slot);
+    lat = l2_[core]->config().latency;
+    if (type == AccessType::kStore && !can_write(cl.state)) {
+      auto l3slot = l3_->lookup(line);
+      if (!l3slot) {
+        // RIC orphan (see the L1 store path above).
+        fill_l3(now, line, false, false, core);
+        l3slot = l3_->lookup(line);
+      }
+      make_exclusive(core, line, l3_->line_for(line, *l3slot));
+      ++stats_.upgrades;
+      lat += cfg_.l3.latency;
+    }
+    if (type == AccessType::kStore) cl.state = Mesi::kModified;
+    fill_state = cl.state;
+    level = HitLevel::kL2;
+    l2_has = true;
+    ++stats_.l2_hits;
+  } else {
+    // ---- L3 (shared, sliced, inclusive, directory) ----
+    CacheArray& slice = l3_->slice_for(line);
+    if (auto slot = slice.lookup(line)) {
+      slice.touch(*slot);
+      CacheLine& l3l = slice.line(*slot);
+      lat = cfg_.l3.latency;
+      if (type == AccessType::kStore) {
+        make_exclusive(core, line, l3l);
+        l3l.ever_written = true;
+        fill_state = Mesi::kModified;
+      } else {
+        downgrade_owners(core, line, l3l);
+        fill_state =
+            (l3l.presence == 0) ? Mesi::kExclusive : Mesi::kShared;
+      }
+      l3l.presence |= bit(core);
+      if (l3l.pp_tag) l3l.pp_accessed = true;  // demanded since tagging
+      level = HitLevel::kL3;
+      ++stats_.l3_hits;
+    } else {
+      // ---- memory: the Access the PiPoMonitor observes (Section IV) ----
+      const MonitorAccessResult mres = active_monitor_->on_access(line);
+      const Tick done =
+          mem_->fetch(now, line, MemController::Reason::kDemand);
+      lat = cfg_.l3.latency + static_cast<std::uint32_t>(done - now);
+      fill_l3(now, line, mres.ping_pong, /*from_prefetch=*/false, core);
+      fill_state =
+          (type == AccessType::kStore) ? Mesi::kModified : Mesi::kExclusive;
+      if (cfg_.defense == DefenseKind::kRic) {
+        // Relaxed inclusion forfeits silent-upgradable Exclusive grants:
+        // a load fills Shared (so every later store goes through the
+        // directory), and the fill reconciles any orphan copies other
+        // cores kept across the old LLC entry's eviction.
+        if (type != AccessType::kStore) fill_state = Mesi::kShared;
+        auto slot = l3_->lookup(line);
+        reconcile_ric_orphans(line, core, type == AccessType::kStore,
+                              l3_->line_for(line, *slot));
+      }
+      if (type == AccessType::kStore) {
+        auto slot = l3_->lookup(line);
+        if (slot) l3_->line_for(line, *slot).ever_written = true;
+      }
+      level = HitLevel::kMemory;
+      ++stats_.l3_misses;
+    }
+  }
+
+  fill_private(now, core, l1, line, fill_state, l2_has);
+  return AccessOutcome{now + lat, lat, level};
+}
+
+void System::fill_private(Tick now, CoreId core, CacheArray& l1,
+                          LineAddr line, Mesi state, bool l2_already_has) {
+  if (!l2_already_has) {
+    auto r = l2_[core]->fill(line);
+    if (r.evicted) handle_l2_eviction(now, core, *r.evicted);
+    l2_[core]->line(r.slot).state = state;
+  }
+  auto r = l1.fill(line);
+  if (r.evicted && r.evicted->state == Mesi::kModified) {
+    // Dirty L1 victim folds its data (and M state) into the L2 copy.
+    set_l2_state(core, r.evicted->line, Mesi::kModified);
+  }
+  l1.line(r.slot).state = state;
+}
+
+void System::handle_l2_eviction(Tick now, CoreId core,
+                                const EvictedLine& ev) {
+  ++stats_.l2_evictions;
+  bool dirty = ev.state == Mesi::kModified;
+  // L2 is inclusive of both L1s: back-invalidate the core's own copies.
+  for (CacheArray* l1 : {l1i_[core].get(), l1d_[core].get()}) {
+    if (auto e = l1->invalidate(ev.line)) {
+      dirty = dirty || e->state == Mesi::kModified;
+    }
+  }
+  // Merge into the LLC and release the directory presence bit. Under
+  // RIC a clean private line can outlive its LLC entry (relaxed
+  // inclusion); evicting such an orphan needs no LLC bookkeeping, and it
+  // cannot be dirty (writes re-establish the LLC entry on upgrade).
+  auto l3slot = l3_->lookup(ev.line);
+  if (!l3slot) {
+    assert(cfg_.defense == DefenseKind::kRic &&
+           "inclusive invariant: L2 line must be in L3");
+    if (dirty) {
+      mem_->writeback(now, ev.line);
+      ++stats_.writebacks;
+    }
+    return;
+  }
+  CacheLine& l3l = l3_->line_for(ev.line, *l3slot);
+  l3l.presence &= ~bit(core);
+  if (dirty) {
+    l3l.dirty = true;
+    l3l.ever_written = true;  // silent E->M upgrades surface here
+  }
+  (void)now;
+}
+
+void System::fill_l3(Tick now, LineAddr line, bool pp_tagged,
+                     bool from_prefetch, CoreId requester) {
+  auto r = l3_->fill(line, sharp_.get());
+  if (r.evicted) {
+    handle_l3_eviction(now, *r.evicted, /*demand_caused=*/!from_prefetch);
+  }
+  CacheLine& l3l = l3_->line_for(line, r.slot);
+  l3l.presence =
+      (from_prefetch || requester == kInvalidCore) ? 0u : bit(requester);
+  l3l.dirty = false;
+  l3l.pp_tag = pp_tagged;
+  // A demand fill is by definition being accessed; a prefetch fill starts
+  // un-accessed so that an untouched line does not re-arm the prefetcher
+  // (the paper's anti-over-protection rule).
+  l3l.pp_accessed = pp_tagged && !from_prefetch;
+  if (pp_tagged && !from_prefetch) ++stats_.pp_tag_fills;
+}
+
+void System::handle_l3_eviction(Tick now, const EvictedLine& ev,
+                                bool demand_caused) {
+  bool dirty = ev.dirty;
+  // RIC: never-written lines keep their private copies across the LLC
+  // eviction (relaxed inclusion) — there is no dirty data to lose and no
+  // back-invalidation for an attacker to engineer. The directory state
+  // for those copies is dropped with the LLC line; our functional model
+  // tolerates that because the surviving copies are read-only.
+  const bool ric_exempt =
+      cfg_.defense == DefenseKind::kRic && !ev.ever_written;
+  if (ric_exempt && ev.presence != 0) {
+    ++stats_.ric_exemptions;
+  }
+  // Inclusive back-invalidation: every private copy dies with the LLC
+  // line. This is the observable coherence action cross-core Prime+Probe
+  // relies on — and what the pEvict/prefetch path obfuscates.
+  for (CoreId c = 0; !ric_exempt && c < cfg_.num_cores; ++c) {
+    if (ev.presence & bit(c)) {
+      dirty = invalidate_private(c, ev.line) || dirty;
+      ++stats_.back_invalidations;
+      active_monitor_->on_back_invalidation(now, ev.line);
+    }
+  }
+  if (dirty) {
+    mem_->writeback(now, ev.line);
+    ++stats_.writebacks;
+  }
+  if (ev.pp_tag) {
+    active_monitor_->on_pevict(now, ev.line, ev.pp_accessed,
+                               demand_caused);
+    ++stats_.pevicts;
+  }
+}
+
+bool System::invalidate_private(CoreId core, LineAddr line) {
+  bool was_m = false;
+  for (CacheArray* arr :
+       {l1i_[core].get(), l1d_[core].get(), l2_[core].get()}) {
+    if (auto e = arr->invalidate(line)) {
+      was_m = was_m || e->state == Mesi::kModified;
+    }
+  }
+  return was_m;
+}
+
+void System::make_exclusive(CoreId writer, LineAddr line,
+                            CacheLine& l3_line) {
+  l3_line.ever_written = true;
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    if (c == writer || !(l3_line.presence & bit(c))) continue;
+    if (invalidate_private(c, line)) l3_line.dirty = true;
+    ++stats_.invalidations_for_write;
+  }
+  l3_line.presence &= bit(writer);
+}
+
+void System::downgrade_owners(CoreId reader, LineAddr line,
+                              CacheLine& l3_line) {
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    if (c == reader || !(l3_line.presence & bit(c))) continue;
+    for (CacheArray* arr :
+         {l1i_[c].get(), l1d_[c].get(), l2_[c].get()}) {
+      if (auto slot = arr->lookup(line)) {
+        CacheLine& cl = arr->line(*slot);
+        if (cl.state == Mesi::kModified) {
+          l3_line.dirty = true;
+          l3_line.ever_written = true;
+        }
+        if (cl.state != Mesi::kInvalid) cl.state = Mesi::kShared;
+      }
+    }
+  }
+}
+
+void System::set_l2_state(CoreId core, LineAddr line, Mesi state) {
+  if (auto slot = l2_[core]->lookup(line)) {
+    l2_[core]->line(*slot).state = state;
+  }
+  // A missing L2 copy would violate L2-inclusive-of-L1; tolerated here
+  // only because invalidations clear L1 and L2 together.
+}
+
+void System::reconcile_ric_orphans(LineAddr line, CoreId requester,
+                                   bool is_store, CacheLine& l3_line) {
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    if (c == requester) continue;
+    bool holds = false;
+    for (CacheArray* arr :
+         {l1i_[c].get(), l1d_[c].get(), l2_[c].get()}) {
+      if (auto slot = arr->lookup(line)) {
+        holds = true;
+        if (!is_store) arr->line(*slot).state = Mesi::kShared;
+      }
+    }
+    if (!holds) continue;
+    if (is_store) {
+      invalidate_private(c, line);  // orphans are clean: nothing to merge
+      ++stats_.invalidations_for_write;
+    } else {
+      l3_line.presence |= bit(c);
+    }
+  }
+}
+
+std::string System::check_invariants() const {
+  std::ostringstream err;
+  const bool ric = cfg_.defense == DefenseKind::kRic;
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    for (const CacheArray* l1 : {l1i_[c].get(), l1d_[c].get()}) {
+      for (std::size_t set = 0; set < l1->num_sets(); ++set) {
+        for (std::uint32_t w = 0; w < l1->ways(); ++w) {
+          const CacheLine& l = l1->line(CacheSlot{set, w});
+          if (!l.valid) continue;
+          if (!l2_[c]->lookup(l.addr)) {
+            err << "L1 line " << std::hex << l.addr << std::dec
+                << " of core " << unsigned(c) << " missing from its L2";
+            return err.str();
+          }
+        }
+      }
+    }
+    for (std::size_t set = 0; set < l2_[c]->num_sets(); ++set) {
+      for (std::uint32_t w = 0; w < l2_[c]->ways(); ++w) {
+        const CacheLine& l = l2_[c]->line(CacheSlot{set, w});
+        if (!l.valid) continue;
+        const auto l3slot = l3_->lookup(l.addr);
+        if (!l3slot) {
+          if (ric && l.state != Mesi::kModified) continue;  // RIC orphan
+          err << "L2 line " << std::hex << l.addr << std::dec
+              << " of core " << unsigned(c)
+              << " missing from the inclusive L3";
+          return err.str();
+        }
+        const CacheLine& l3l = l3_->slice_for(l.addr).line(*l3slot);
+        if (!(l3l.presence & bit(c))) {
+          if (ric) continue;  // presence dropped with a prior RIC orphan
+          err << "directory presence bit of core " << unsigned(c)
+              << " clear for resident line " << std::hex << l.addr;
+          return err.str();
+        }
+      }
+    }
+  }
+  // Single-writer: collect per-line private states across cores.
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    for (std::size_t set = 0; set < l2_[c]->num_sets(); ++set) {
+      for (std::uint32_t w = 0; w < l2_[c]->ways(); ++w) {
+        const CacheLine& l = l2_[c]->line(CacheSlot{set, w});
+        if (!l.valid || (l.state != Mesi::kModified &&
+                         l.state != Mesi::kExclusive)) {
+          continue;
+        }
+        for (CoreId o = 0; o < cfg_.num_cores; ++o) {
+          if (o == c) continue;
+          if (l2_[o]->lookup(l.addr) || l1d_[o]->lookup(l.addr) ||
+              l1i_[o]->lookup(l.addr)) {
+            err << "line " << std::hex << l.addr << std::dec << " is "
+                << (l.state == Mesi::kModified ? "M" : "E") << " in core "
+                << unsigned(c) << " but also cached by core "
+                << unsigned(o);
+            return err.str();
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+void System::drain_prefetches(Tick now) {
+  // The drain runs lazily (at every access and at the driver's uncore
+  // tick), so requests are backdated to their true issue times: a pEvict
+  // whose delay elapsed at tick R enters the MC channel at R, not at the
+  // drain time. This keeps the prefetch pipeline event-accurate — a
+  // prefetch issued between two victim accesses lands before the second
+  // one, exactly as the hardware would behave.
+  //
+  // Stage 1: pEvicts whose delay has elapsed become MC fetch requests.
+  for (const auto& req : active_monitor_->take_due_prefetches(now)) {
+    if (l3_->lookup(req.line)) {
+      ++stats_.prefetch_drops;  // line came back on its own: drop
+      continue;
+    }
+    active_monitor_->on_prefetch_fetch(req.line);
+    const Tick done =
+        mem_->fetch(req.ready, req.line, MemController::Reason::kPrefetch);
+    inflight_prefetch_.push_back(InflightPrefetch{done, req.line, req.tag});
+  }
+  // Stage 2: fills whose DRAM data has arrived by `now`.
+  while (!inflight_prefetch_.empty() &&
+         inflight_prefetch_.front().fill_at <= now) {
+    const InflightPrefetch pf = inflight_prefetch_.front();
+    inflight_prefetch_.pop_front();
+    if (l3_->lookup(pf.line)) {
+      ++stats_.prefetch_drops;  // a demand fetch beat the prefetch back
+      continue;
+    }
+    fill_l3(pf.fill_at, pf.line, /*pp_tagged=*/pf.tag,
+            /*from_prefetch=*/true, kInvalidCore);
+    ++stats_.prefetch_fills;
+  }
+}
+
+}  // namespace pipo

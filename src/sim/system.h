@@ -1,0 +1,196 @@
+// The simulated machine: four cores' private L1I/L1D/L2 caches, a shared
+// sliced inclusive L3 with an in-LLC directory (MESI), the memory
+// controller and the PiPoMonitor — the architecture of Fig 2, with the
+// Table II latencies.
+//
+// Timing model. Accesses are resolved functionally at issue time with
+// full latency accounting (the level that serves the access determines
+// the latency; LLC misses add DRAM latency and channel queueing). This is
+// the "atomic with timing feedback" style of simulation: cross-core
+// interleaving is still cycle-accurate at access granularity because the
+// event-driven cores issue their next access only after the previous one
+// completes. PiPoMonitor prefetches are the one genuinely asynchronous
+// action, so they are modeled as scheduled events: pEvict -> delay ->
+// fetch -> DRAM latency -> LLC fill, drained at every subsequent access
+// and by the driver's periodic uncore tick.
+//
+// Coherence model. Private L1/L2 lines carry MESI states; the inclusive
+// L3 acts as the directory via per-line presence bit-vectors. Protocol
+// actions implemented:
+//   * read miss served by L3 while another core holds M/E: owner
+//     downgraded to S, LLC marked dirty (data merged).
+//   * write to an S line: directory upgrade, all other sharers
+//     invalidated (charged one LLC round-trip).
+//   * L2 eviction: back-invalidates that core's L1 copies (L2 is
+//     inclusive of L1), clears the directory presence bit, merges dirty
+//     data into the LLC.
+//   * L3 eviction: back-invalidates EVERY private copy (the inclusive-LLC
+//     property cross-core attacks exploit), writes back dirty data, and —
+//     when the line is Ping-Pong-tagged and was accessed — sends pEvict
+//     to the PiPoMonitor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cache/cache_array.h"
+#include "cache/sliced_cache.h"
+#include "defense/bitp.h"
+#include "defense/directory_monitor.h"
+#include "defense/sharp.h"
+#include "filter/observer.h"
+#include "mem/mem_controller.h"
+#include "pipo/monitor_iface.h"
+#include "pipo/pipo_monitor.h"
+#include "sim/system_config.h"
+
+namespace pipo {
+
+/// Which level served an access (for attack classification and tests).
+enum class HitLevel : std::uint8_t { kL1, kL2, kL3, kMemory };
+
+const char* to_string(HitLevel l);
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg,
+                  FilterObserver* filter_observer = nullptr);
+
+  struct AccessOutcome {
+    Tick complete = 0;          ///< tick at which the access finishes
+    std::uint32_t latency = 0;  ///< complete - issue
+    HitLevel level = HitLevel::kL1;
+  };
+
+  /// Performs one memory access for `core` at tick `now`. With
+  /// `bypass_private` the access skips the core's L1/L2 and goes straight
+  /// to the LLC (attacker probe pattern, see MemRequest::bypass_private):
+  /// it touches LLC replacement state, fills the LLC on a miss, but never
+  /// installs a private copy or sets the requester's presence bit.
+  AccessOutcome access(Tick now, CoreId core, Addr addr, AccessType type,
+                       bool bypass_private = false);
+
+  /// Applies every due PiPoMonitor prefetch (pEvict + delay elapsed and
+  /// DRAM data arrived). Called internally by access(); the simulation
+  /// driver also calls it periodically so prefetches land on time even
+  /// while all cores are idle.
+  void drain_prefetches(Tick now);
+
+  // --- component access (attack construction, tests, benches) ---
+  const SystemConfig& config() const { return cfg_; }
+  SlicedCache& l3() { return *l3_; }
+  const SlicedCache& l3() const { return *l3_; }
+  CacheArray& l2(CoreId c) { return *l2_[c]; }
+  CacheArray& l1d(CoreId c) { return *l1d_[c]; }
+  CacheArray& l1i(CoreId c) { return *l1i_[c]; }
+  /// The PiPoMonitor (valid when the active defense is kPiPoMonitor or
+  /// kNone — the disabled monitor is inert).
+  PiPoMonitor& monitor() { return *pipo_monitor_; }
+  const PiPoMonitor& monitor() const { return *pipo_monitor_; }
+  /// The active defense's monitor-side engine (NullMonitor for kNone,
+  /// kSharp and kRic, which act purely on the cache side).
+  MonitorIface& active_monitor() { return *active_monitor_; }
+  const MonitorIface& active_monitor() const { return *active_monitor_; }
+  /// Valid when the active defense is kDirectoryMonitor.
+  DirectoryMonitor& directory_monitor() { return *dir_monitor_; }
+  /// Valid when the active defense is kSharp.
+  const SharpChooser& sharp() const { return *sharp_; }
+  MemController& mem() { return *mem_; }
+
+  /// Latency above which an access cannot have been an LLC hit; the
+  /// Prime+Probe attacker uses this as its classification threshold.
+  std::uint32_t llc_miss_threshold() const {
+    return cfg_.l3.latency + cfg_.mem.dram_latency / 2;
+  }
+
+  /// Aggregate event counters.
+  struct Stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l3_hits = 0;
+    std::uint64_t l3_misses = 0;
+    std::uint64_t back_invalidations = 0;  ///< private copies killed by L3 evictions
+    std::uint64_t upgrades = 0;            ///< S->M directory transactions
+    std::uint64_t invalidations_for_write = 0;
+    std::uint64_t l2_evictions = 0;
+    std::uint64_t writebacks = 0;          ///< dirty L3 evictions to memory
+    std::uint64_t prefetch_fills = 0;      ///< monitor prefetches landing in L3
+    std::uint64_t prefetch_drops = 0;      ///< prefetch found line already present
+    std::uint64_t pp_tag_fills = 0;        ///< demand fills tagged Ping-Pong
+    std::uint64_t pevicts = 0;             ///< pEvict messages sent to the monitor
+    std::uint64_t ric_exemptions = 0;      ///< back-invalidations skipped by RIC
+    void dump(std::ostream& os) const;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  /// Structural-invariant audit (test/diagnostic hook). Walks every
+  /// array and returns a description of the first violation found, or an
+  /// empty string when the machine state is consistent:
+  ///  * inclusion — every private L1/L2 line is present in the L3
+  ///    (except under RIC, whose relaxed inclusion permits clean
+  ///    orphans), and every L1 line is present in its core's L2;
+  ///  * single writer — at most one core holds a line in M or E, and no
+  ///    other core holds any copy of an M/E line;
+  ///  * directory — the L3 presence bit of every privately held line's
+  ///    core is set (again modulo RIC orphans).
+  std::string check_invariants() const;
+
+ private:
+  static std::uint32_t bit(CoreId c) { return 1u << c; }
+
+  void fill_l3(Tick now, LineAddr line, bool pp_tagged, bool from_prefetch,
+               CoreId requester);
+  /// `demand_caused`: the eviction was triggered by a demand fill rather
+  /// than a monitor prefetch fill (forwarded in the pEvict message).
+  void handle_l3_eviction(Tick now, const EvictedLine& ev,
+                          bool demand_caused);
+  void handle_l2_eviction(Tick now, CoreId core, const EvictedLine& ev);
+  void fill_private(Tick now, CoreId core, CacheArray& l1, LineAddr line,
+                    Mesi state, bool l2_already_has);
+  /// Invalidates the line in `core`'s L1s and L2; true if a copy was M.
+  bool invalidate_private(CoreId core, LineAddr line);
+  /// Invalidates all sharers other than `writer` and grants it ownership.
+  void make_exclusive(CoreId writer, LineAddr line, CacheLine& l3_line);
+  /// Downgrades any M/E owner to S on a read by another core.
+  void downgrade_owners(CoreId reader, LineAddr line, CacheLine& l3_line);
+  void set_l2_state(CoreId core, LineAddr line, Mesi state);
+  /// RIC only: after a memory fill of `line`, other cores may still hold
+  /// relaxed-inclusion orphan copies whose directory knowledge was
+  /// dropped with the old LLC entry. Restores their presence bits (reads)
+  /// or invalidates them (writes), so no stale copy can survive a writer.
+  void reconcile_ric_orphans(LineAddr line, CoreId requester, bool is_store,
+                             CacheLine& l3_line);
+
+  SystemConfig cfg_;
+  std::vector<std::unique_ptr<CacheArray>> l1i_;
+  std::vector<std::unique_ptr<CacheArray>> l1d_;
+  std::vector<std::unique_ptr<CacheArray>> l2_;
+  std::unique_ptr<SlicedCache> l3_;
+  std::unique_ptr<MemController> mem_;
+  // Defense machinery: exactly one of the monitors is active; SHARP adds
+  // a victim chooser on LLC fills; RIC acts in handle_l3_eviction.
+  std::unique_ptr<PiPoMonitor> pipo_monitor_;
+  std::unique_ptr<DirectoryMonitor> dir_monitor_;
+  std::unique_ptr<BitpPrefetcher> bitp_;
+  std::unique_ptr<NullMonitor> null_monitor_;
+  MonitorIface* active_monitor_ = nullptr;
+  std::unique_ptr<SharpChooser> sharp_;
+
+  /// Prefetches whose DRAM fetch is in flight: fill L3 at `fill_at`.
+  struct InflightPrefetch {
+    Tick fill_at;
+    LineAddr line;
+    bool tag;  ///< carry the Ping-Pong tag on the fill (monitor kinds)
+  };
+  std::deque<InflightPrefetch> inflight_prefetch_;
+
+  Stats stats_;
+};
+
+}  // namespace pipo

@@ -1,0 +1,77 @@
+// Whole-system configuration: Table II of the paper as a single value.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache_config.h"
+#include "defense/bitp.h"
+#include "defense/directory_monitor.h"
+#include "defense/sharp.h"
+#include "mem/mem_controller.h"
+#include "pipo/pipo_monitor.h"
+
+namespace pipo {
+
+/// Which cross-core-attack defense guards the LLC. kPiPoMonitor is the
+/// paper's contribution; the others are the Related Work baselines the
+/// defense-comparison bench evaluates against it.
+enum class DefenseKind : std::uint8_t {
+  kNone,              ///< undefended baseline
+  kPiPoMonitor,       ///< Auto-Cuckoo-filter monitor (this paper)
+  kDirectoryMonitor,  ///< CacheGuard-style tagged-table stateful baseline
+  kSharp,             ///< hierarchy-aware LLC replacement (ISCA'17)
+  kBitp,              ///< back-invalidation prefetcher (PACT'19)
+  kRic,               ///< relaxed inclusion for read-only lines (DAC'17)
+};
+
+const char* to_string(DefenseKind k);
+
+struct SystemConfig {
+  std::uint32_t num_cores = 4;       ///< Table II: 4 cores at 2.0 GHz
+  CacheConfig l1i = CacheConfig::l1i();
+  CacheConfig l1d = CacheConfig::l1d();
+  CacheConfig l2 = CacheConfig::l2();
+  CacheConfig l3 = CacheConfig::l3();  ///< aggregate size across slices
+  std::uint32_t l3_slices = 4;       ///< one slice per core (Fig 2)
+  MemConfig mem = MemConfig::paper_default();
+  /// Active defense. kPiPoMonitor with monitor.enabled=false behaves as
+  /// kNone (the historical baseline spelling).
+  DefenseKind defense = DefenseKind::kPiPoMonitor;
+  MonitorConfig monitor = MonitorConfig::paper_default();
+  DirectoryMonitorConfig dir_monitor;
+  SharpConfig sharp;
+  BitpConfig bitp;
+  std::uint64_t seed = 0x5EED;
+
+  void validate() const {
+    l1i.validate();
+    l1d.validate();
+    l2.validate();
+    l3.validate();
+    monitor.filter.validate();
+    if (num_cores == 0 || num_cores > 32) {
+      throw std::invalid_argument("num_cores must be in [1,32]");
+    }
+  }
+
+  /// The paper's evaluation platform (Table II) with PiPoMonitor enabled.
+  static SystemConfig paper_default() { return SystemConfig{}; }
+
+  /// Identical machine without the defense — the evaluation baseline.
+  static SystemConfig baseline() {
+    SystemConfig c;
+    c.defense = DefenseKind::kNone;
+    c.monitor.enabled = false;
+    return c;
+  }
+
+  /// The same machine guarded by one of the Related Work baselines.
+  static SystemConfig with_defense(DefenseKind kind) {
+    SystemConfig c;
+    c.defense = kind;
+    c.monitor.enabled = (kind == DefenseKind::kPiPoMonitor);
+    return c;
+  }
+};
+
+}  // namespace pipo

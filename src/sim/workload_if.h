@@ -1,0 +1,46 @@
+// The contract between a simulated core and whatever drives it — a
+// synthetic SPEC-like generator, a replayed trace, the Prime+Probe
+// attacker or the square-and-multiply victim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+
+namespace pipo {
+
+/// One memory request plus the non-memory work preceding it.
+struct MemRequest {
+  Addr addr = 0;
+  AccessType type = AccessType::kLoad;
+  /// Cycles of non-memory work executed before this access issues. The
+  /// core model charges them at one instruction per cycle, so this is
+  /// simultaneously the instruction gap and the time gap.
+  std::uint32_t pre_delay = 0;
+  /// Skip the issuing core's private L1/L2 and access the LLC directly.
+  /// Models the engineered probe patterns of LLC Prime+Probe attackers
+  /// (eviction sets sized and ordered to defeat private caches, Liu et
+  /// al. S&P'15): every probe reaches the shared LLC and updates its
+  /// replacement state, and no private copy is installed.
+  bool bypass_private = false;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Next request, or nullopt when the workload has finished. `now` is
+  /// the tick at which the previous request completed (attackers use it
+  /// to pace absolute-time schedules).
+  virtual std::optional<MemRequest> next(Tick now) = 0;
+
+  /// Completion callback with the measured latency — this is the
+  /// attacker's timing channel (rdtscp around the probe access).
+  virtual void on_complete(const MemRequest& req, Tick issued,
+                           Tick completed) {
+    (void)req; (void)issued; (void)completed;
+  }
+};
+
+}  // namespace pipo

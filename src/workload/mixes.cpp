@@ -1,0 +1,49 @@
+#include "workload/mixes.h"
+
+#include <stdexcept>
+
+#include "workload/profile.h"
+#include "workload/synthetic.h"
+
+namespace pipo {
+
+namespace {
+// Table III verbatim.
+const std::array<std::array<std::string, 4>, 10> kMixes = {{
+    {"libquantum", "mcf", "sphinx3", "gobmk"},        // mix1
+    {"sphinx3", "libquantum", "bzip2", "sjeng"},      // mix2
+    {"gobmk", "bzip2", "hmmer", "sjeng"},             // mix3
+    {"libquantum", "sjeng", "calculix", "h264ref"},   // mix4
+    {"astar", "libquantum", "mcf", "calculix"},       // mix5
+    {"astar", "mcf", "gromacs", "h264ref"},           // mix6
+    {"gcc", "milc", "gobmk", "calculix"},             // mix7
+    {"gcc", "mcf", "gromacs", "astar"},               // mix8
+    {"h264ref", "astar", "sjeng", "gcc"},             // mix9
+    {"gromacs", "gobmk", "gcc", "hmmer"},             // mix10
+}};
+}  // namespace
+
+const std::array<std::string, 4>& mix_components(unsigned mix_number) {
+  if (mix_number < 1 || mix_number > kMixes.size()) {
+    throw std::out_of_range("mix number must be 1..10");
+  }
+  return kMixes[mix_number - 1];
+}
+
+std::vector<std::unique_ptr<Workload>> make_mix(unsigned mix_number,
+                                                std::uint64_t instr_budget,
+                                                std::uint64_t seed,
+                                                std::uint64_t ws_divisor) {
+  const auto& names = mix_components(mix_number);
+  std::vector<std::unique_ptr<Workload>> out;
+  out.reserve(names.size());
+  for (std::uint32_t core = 0; core < names.size(); ++core) {
+    out.push_back(std::make_unique<SyntheticWorkload>(
+        spec_profile(names[core], ws_divisor),
+        SyntheticWorkload::disjoint_base(core, mix_number),
+        instr_budget, seed * 1315423911u + core));
+  }
+  return out;
+}
+
+}  // namespace pipo

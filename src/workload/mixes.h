@@ -1,0 +1,29 @@
+// The ten 4-benchmark workload mixes of Table III.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/workload_if.h"
+
+namespace pipo {
+
+/// Benchmark names of mix `i` (1-based, as in Table III: mix1..mix10).
+const std::array<std::string, 4>& mix_components(unsigned mix_number);
+
+/// Number of mixes defined (10).
+constexpr unsigned num_mixes() { return 10; }
+
+/// Builds the four workloads of `mix_number`, one per core, each with
+/// `instr_budget` instructions and disjoint address regions.
+/// `ws_divisor` scales the component working sets for downscaled runs
+/// (see spec_profile()).
+std::vector<std::unique_ptr<Workload>> make_mix(unsigned mix_number,
+                                                std::uint64_t instr_budget,
+                                                std::uint64_t seed,
+                                                std::uint64_t ws_divisor = 1);
+
+}  // namespace pipo

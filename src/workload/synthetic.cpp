@@ -1,0 +1,145 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pipo {
+
+namespace {
+// Warm-region conflict-burst geometry (see pick_warm). The stride is the
+// Table II LLC's congruence stride (4 slices x 1024 sets = 4096 lines);
+// 24 congruent lines against 16 ways guarantee conflict evictions, and 8
+// laps are enough to saturate a secThr=3 Security counter. Laps within a
+// burst are separated by a gap of ordinary accesses, putting the lines'
+// reuse distances near the filter's observation window so that capture
+// probability -- and with it the Fig 8(b) false-positive counts --
+// depends on the filter size.
+constexpr std::uint64_t kWarmStrideLines = 4096;
+constexpr std::uint32_t kWarmGroupLines = 24;
+constexpr std::uint32_t kWarmGroupLaps = 8;
+constexpr std::uint32_t kWarmLapGapAccesses = 600;
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(BenchmarkProfile profile, Addr base,
+                                     std::uint64_t instr_budget,
+                                     std::uint64_t seed)
+    : profile_(profile),
+      base_(line_align(base)),
+      budget_(instr_budget),
+      rng_(seed),
+      ws_lines_(std::max<std::uint64_t>(1, profile.working_set_bytes /
+                                               kLineSizeBytes)),
+      hot_lines_(std::max<std::uint64_t>(
+          1, std::min(profile.hot_bytes, profile.working_set_bytes) /
+                 kLineSizeBytes)),
+      warm_lines_(std::min(profile.warm_bytes, profile.working_set_bytes) /
+                  kLineSizeBytes) {
+  profile_.normalize();
+  // Inverse-CDF table for Zipf(s) over the hot lines. s = 0 degenerates
+  // to uniform; the table is still built for uniformity of the code path.
+  zipf_cdf_.resize(static_cast<std::size_t>(hot_lines_));
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < hot_lines_; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), profile_.zipf_s);
+    zipf_cdf_[static_cast<std::size_t>(i)] = acc;
+  }
+  for (double& v : zipf_cdf_) v /= acc;
+  stream_cursor_ = rng_.below(ws_lines_);
+  // Quasi-periodic burst schedule: random initial phase, then one burst
+  // per warm_burst_every accesses. A Bernoulli draw per access would give
+  // each run a Poisson-distributed burst count whose variance swamps the
+  // per-mix false-positive differences at downscaled budgets.
+  if (profile_.warm_burst_every > 0 && warm_lines_ > 0) {
+    until_burst_ = rng_.below(profile_.warm_burst_every) + 1;
+  }
+}
+
+Addr SyntheticWorkload::pick_hot() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(it - zipf_cdf_.begin());
+  return base_ + byte_of(rank);
+}
+
+Addr SyntheticWorkload::pick_warm() {
+  // One access of an LLC set-conflict burst. The warm lines are organized
+  // into groups of kWarmGroupLines lines that are all LLC-congruent
+  // (kWarmStrideLines apart -- the Table II LLC's congruence stride),
+  // i.e. more lines than the LLC has ways in one set. A burst laps the
+  // current group kWarmGroupLaps times with kWarmLapGapAccesses ordinary
+  // accesses between laps; every lap evicts and re-fetches lines whose
+  // reuse distance sits near the filter window, shaping benign
+  // Ping-Pong. After the burst the sweep moves to the next group (phase
+  // change). Groups live above the streaming working set so they do not
+  // alias with it.
+  const std::uint64_t line = ws_lines_ + warm_group_ +
+                             static_cast<std::uint64_t>(warm_pos_) *
+                                 kWarmStrideLines;
+  const std::uint64_t groups =
+      std::max<std::uint64_t>(1, warm_lines_ / kWarmGroupLines);
+  if (++warm_pos_ == kWarmGroupLines) {
+    warm_pos_ = 0;
+    lap_gap_left_ = kWarmLapGapAccesses;
+    if (++warm_lap_ == kWarmGroupLaps) {
+      warm_lap_ = 0;
+      in_burst_ = false;
+      warm_group_ = (warm_group_ + 1) % groups;
+    }
+  }
+  return base_ + byte_of(line);
+}
+
+Addr SyntheticWorkload::pick_stream() {
+  // Sequential walk with a 1-in-4096 chance of jumping to a new region
+  // (a fresh scan).
+  if (rng_.one_in(4096)) stream_cursor_ = rng_.below(ws_lines_);
+  stream_cursor_ = (stream_cursor_ + 1) % ws_lines_;
+  return base_ + byte_of(stream_cursor_);
+}
+
+Addr SyntheticWorkload::pick_random() {
+  return base_ + byte_of(rng_.below(ws_lines_));
+}
+
+std::optional<MemRequest> SyntheticWorkload::next(Tick) {
+  if (instructions_ >= budget_) return std::nullopt;
+
+  MemRequest req;
+  // Geometric gap with the profile's mean: P(stop) = 1/(mean+1).
+  const double p_stop = 1.0 / (profile_.mean_gap + 1.0);
+  std::uint32_t gap = 0;
+  while (gap < 64 && !rng_.chance(p_stop)) ++gap;
+  req.pre_delay = gap;
+
+  // Conflict-burst state machine: bursts start on the quasi-periodic
+  // schedule; inside a burst, warm accesses run back-to-back per lap with
+  // a gap of ordinary traffic between laps.
+  if (!in_burst_ && until_burst_ > 0 && --until_burst_ == 0) {
+    in_burst_ = true;
+    ++bursts_started_;
+    warm_pos_ = 0;
+    warm_lap_ = 0;
+    lap_gap_left_ = 0;
+    until_burst_ = profile_.warm_burst_every;
+  }
+  if (in_burst_ && lap_gap_left_ == 0) {
+    req.addr = pick_warm();
+  } else {
+    if (lap_gap_left_ > 0) --lap_gap_left_;
+    const double u = rng_.uniform();
+    if (u < profile_.frac_hot) {
+      req.addr = pick_hot();
+    } else if (u < profile_.frac_hot + profile_.frac_stream) {
+      req.addr = pick_stream();
+    } else {
+      req.addr = pick_random();
+    }
+  }
+  req.type = rng_.chance(profile_.store_ratio) ? AccessType::kStore
+                                               : AccessType::kLoad;
+  instructions_ += 1 + req.pre_delay;
+  return req;
+}
+
+}  // namespace pipo

@@ -1,0 +1,42 @@
+// Replays an explicit request list — the workload used by unit and
+// integration tests, and by anyone feeding recorded traces into the
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/workload_if.h"
+
+namespace pipo {
+
+class TraceWorkload final : public Workload {
+ public:
+  explicit TraceWorkload(std::vector<MemRequest> trace)
+      : trace_(std::move(trace)) {}
+
+  std::optional<MemRequest> next(Tick) override {
+    if (pos_ >= trace_.size()) return std::nullopt;
+    return trace_[pos_++];
+  }
+
+  /// Completion log: (request index, latency) — tests assert on it.
+  void on_complete(const MemRequest&, Tick issued, Tick completed) override {
+    latencies_.push_back(static_cast<std::uint32_t>(completed - issued));
+  }
+  const std::vector<std::uint32_t>& latencies() const { return latencies_; }
+
+ private:
+  std::vector<MemRequest> trace_;
+  std::size_t pos_ = 0;
+  std::vector<std::uint32_t> latencies_;
+};
+
+/// A core with nothing to do (fills unused cores in small experiments).
+class IdleWorkload final : public Workload {
+ public:
+  std::optional<MemRequest> next(Tick) override { return std::nullopt; }
+};
+
+}  // namespace pipo

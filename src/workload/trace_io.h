@@ -1,0 +1,38 @@
+// Text trace format: record simulated request streams and replay them.
+//
+// One request per line:
+//
+//     <hex byte address> <L|S|I|P> <pre_delay>
+//
+// L = load, S = store, I = instruction fetch, P = LLC-direct probe load
+// (MemRequest::bypass_private). Lines starting with '#' and blank lines
+// are ignored. The format round-trips exactly: save(load(s)) == s.
+//
+// This is the bridge for driving the simulator with externally captured
+// address traces (e.g. converted pin/gem5 traces) instead of the
+// synthetic SPEC-like generators.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/workload_if.h"
+
+namespace pipo {
+
+/// Writes `trace` in the text format above.
+void save_trace(std::ostream& os, const std::vector<MemRequest>& trace);
+
+/// Parses a text trace. Throws std::invalid_argument with the offending
+/// line number on malformed input.
+std::vector<MemRequest> load_trace(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error if the file
+/// cannot be opened.
+void save_trace_file(const std::string& path,
+                     const std::vector<MemRequest>& trace);
+std::vector<MemRequest> load_trace_file(const std::string& path);
+
+}  // namespace pipo

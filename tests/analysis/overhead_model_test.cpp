@@ -1,0 +1,73 @@
+#include "analysis/overhead_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(Overhead, PaperFilterStorageIs15KB) {
+  OverheadModel model;
+  const auto est = model.filter(FilterConfig::paper_default());
+  EXPECT_EQ(est.bits, 122880u);
+  EXPECT_DOUBLE_EQ(est.kib, 15.0);
+}
+
+TEST(Overhead, PaperStorageRatioIs037Percent) {
+  OverheadModel model;
+  const double ratio = model.storage_ratio(FilterConfig::paper_default());
+  EXPECT_NEAR(ratio * 100.0, 0.37, 0.01);
+}
+
+TEST(Overhead, PaperAreaIs0013mm2) {
+  OverheadModel model;
+  const auto est = model.filter(FilterConfig::paper_default());
+  EXPECT_NEAR(est.area_mm2, 0.013, 1e-6);
+}
+
+TEST(Overhead, PaperAreaRatioNear032Percent) {
+  OverheadModel model;
+  const double ratio = model.area_ratio(FilterConfig::paper_default());
+  EXPECT_NEAR(ratio * 100.0, 0.32, 0.05);
+}
+
+TEST(Overhead, DirectoryExtensionAnOrderOfMagnitudeLarger) {
+  // Previous stateful approaches extend every LLC line; with even 16 bits
+  // of state per line that is 128 KB vs the filter's 15 KB.
+  OverheadModel model;
+  const auto dir = model.directory_extension(16);
+  const auto filt = model.filter(FilterConfig::paper_default());
+  EXPECT_NEAR(dir.kib, 128.0, 1e-9);
+  EXPECT_GT(dir.bits, filt.bits * 8);
+}
+
+TEST(Overhead, StorageScalesLinearlyWithF) {
+  OverheadModel model;
+  FilterConfig cfg;
+  cfg.f = 12;
+  const auto base = model.filter(cfg);
+  cfg.f = 24;
+  const auto wide = model.filter(cfg);
+  // (1+24+2)/(1+12+2) = 27/15
+  EXPECT_NEAR(static_cast<double>(wide.bits) / base.bits, 27.0 / 15.0, 1e-9);
+}
+
+TEST(Overhead, LlcTotalsIncludeTags) {
+  OverheadModel model;
+  EXPECT_GT(model.llc_total().bits, model.llc_data().bits);
+  EXPECT_GT(model.tag_bits_per_line(), 24u);
+  EXPECT_LT(model.tag_bits_per_line(), 48u);
+}
+
+TEST(Overhead, BiggerLlcShrinksRelativeOverhead) {
+  // Section VII-D: "for a high-performance chip with ... larger LLC, the
+  // overhead could further decrease."
+  CacheConfig big = CacheConfig::l3();
+  big.size_bytes *= 4;
+  OverheadModel small_model;
+  OverheadModel big_model(big);
+  const FilterConfig cfg = FilterConfig::paper_default();
+  EXPECT_LT(big_model.storage_ratio(cfg), small_model.storage_ratio(cfg));
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,55 @@
+#include "analysis/perf_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/sim/test_configs.h"
+
+namespace pipo {
+namespace {
+
+TEST(PerfExperiment, RunsMixToCompletion) {
+  const auto r = run_mix_perf(1, testcfg::mini(), 20'000, 1);
+  EXPECT_EQ(r.mix, 1u);
+  EXPECT_GE(r.instructions, 4u * 20'000);
+  EXPECT_GT(r.exec_time, 0u);
+  EXPECT_GT(r.stats.accesses, 0u);
+}
+
+TEST(PerfExperiment, DeterministicForSameSeed) {
+  const auto a = run_mix_perf(2, testcfg::mini(), 10'000, 7);
+  const auto b = run_mix_perf(2, testcfg::mini(), 10'000, 7);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.prefetches, b.prefetches);
+}
+
+TEST(PerfExperiment, BaselineHasNoPrefetches) {
+  const auto r = run_mix_perf(1, testcfg::mini_baseline(), 10'000, 3);
+  EXPECT_EQ(r.prefetches, 0u);
+  EXPECT_EQ(r.captures, 0u);
+  EXPECT_DOUBLE_EQ(r.false_positives_per_mi, 0.0);
+}
+
+TEST(PerfExperiment, DefendedRunStaysCloseToBaseline) {
+  // Fig 8(a): PiPoMonitor's performance impact is well under 1%. On the
+  // mini system with short runs we allow a few percent of noise, but the
+  // two runs must be in the same ballpark.
+  const auto base = run_mix_perf(3, testcfg::mini_baseline(), 40'000, 11);
+  const auto pipo = run_mix_perf(3, testcfg::mini(), 40'000, 11);
+  const double normalized = static_cast<double>(base.exec_time) /
+                            static_cast<double>(pipo.exec_time);
+  EXPECT_GT(normalized, 0.90);
+  EXPECT_LT(normalized, 1.10);
+}
+
+TEST(PerfExperiment, FalsePositiveRateIsPerMillionInstructions) {
+  const auto r = run_mix_perf(1, testcfg::mini(), 20'000, 5);
+  const double expected =
+      r.instructions
+          ? static_cast<double>(r.prefetches) * 1e6 / r.instructions
+          : 0.0;
+  EXPECT_DOUBLE_EQ(r.false_positives_per_mi, expected);
+}
+
+}  // namespace
+}  // namespace pipo

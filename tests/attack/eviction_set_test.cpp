@@ -1,0 +1,79 @@
+#include "attack/eviction_set.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/system.h"
+#include "tests/sim/test_configs.h"
+
+namespace pipo {
+namespace {
+
+TEST(LlcGeometry, FromPaperConfig) {
+  const LlcGeometry geo = LlcGeometry::from(SystemConfig::paper_default());
+  EXPECT_EQ(geo.slices, 4u);
+  EXPECT_EQ(geo.sets_per_slice, 1024u);  // 1 MB slice / 64 B / 16 ways
+  EXPECT_EQ(geo.ways, 16u);
+  EXPECT_EQ(geo.stride_lines(), 4096u);
+}
+
+TEST(LlcGeometry, FromMiniConfig) {
+  const LlcGeometry geo = LlcGeometry::from(testcfg::mini());
+  EXPECT_EQ(geo.sets_per_slice, 16u);
+  EXPECT_EQ(geo.stride_lines(), testcfg::mini_l3_stride());
+}
+
+TEST(EvictionSet, AllMembersCongruentWithTarget) {
+  const LlcGeometry geo = LlcGeometry::from(SystemConfig::paper_default());
+  const Addr target = 0x7F000040;
+  const auto set = build_eviction_set(geo, target, 16, Addr{1} << 33);
+  ASSERT_EQ(set.size(), 16u);
+  for (Addr a : set) {
+    EXPECT_TRUE(geo.congruent(line_of(a), line_of(target)));
+    EXPECT_NE(line_of(a), line_of(target));
+  }
+}
+
+TEST(EvictionSet, MembersAreDistinctLines) {
+  const LlcGeometry geo = LlcGeometry::from(SystemConfig::paper_default());
+  const auto set = build_eviction_set(geo, 0x1234000, 32, Addr{1} << 33);
+  std::set<LineAddr> lines;
+  for (Addr a : set) lines.insert(line_of(a));
+  EXPECT_EQ(lines.size(), 32u);
+}
+
+TEST(EvictionSet, DrawnFromAttackerRegion) {
+  const LlcGeometry geo = LlcGeometry::from(SystemConfig::paper_default());
+  const Addr base = Addr{1} << 34;
+  const auto set = build_eviction_set(geo, 0x40, 16, base);
+  for (Addr a : set) EXPECT_GE(a, base);
+}
+
+TEST(EvictionSet, SkipsTargetLineEvenInsideRegion) {
+  const LlcGeometry geo = LlcGeometry::from(SystemConfig::paper_default());
+  const Addr base = Addr{1} << 34;
+  const Addr target = base + 5 * byte_of(geo.stride_lines());
+  const auto set = build_eviction_set(geo, target, 16, base);
+  for (Addr a : set) EXPECT_NE(line_of(a), line_of(target));
+}
+
+TEST(EvictionSet, EvictsTargetInMiniSystem) {
+  // End-to-end: accessing the constructed set must evict the target from
+  // the LLC of the mini system.
+  System sys(testcfg::mini());
+  const Addr target = 0x0;
+  sys.access(0, 1, target, AccessType::kLoad);
+  ASSERT_TRUE(sys.l3().lookup(line_of(target)).has_value());
+  const LlcGeometry geo = LlcGeometry::from(testcfg::mini());
+  const auto set = build_eviction_set(geo, target, geo.ways, Addr{1} << 30);
+  Tick t = 300;
+  for (Addr a : set) {
+    sys.access(t, 0, a, AccessType::kLoad);
+    t += 300;
+  }
+  EXPECT_FALSE(sys.l3().lookup(line_of(target)).has_value());
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,85 @@
+#include "attack/filter_attack.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+FilterConfig tiny_filter(std::uint32_t mnk) {
+  FilterConfig cfg;
+  cfg.l = 32;
+  cfg.b = 4;
+  cfg.f = 12;
+  cfg.mnk = mnk;
+  return cfg;
+}
+
+TEST(BruteForce, MeanFillsNearCapacity) {
+  // Section VI-B: expectation = b * l fills. For 32x4 = 128 entries,
+  // the measured mean should land in the same range.
+  const auto r = brute_force_attack(tiny_filter(4), 40, 123);
+  EXPECT_EQ(r.censored, 0u);
+  EXPECT_DOUBLE_EQ(r.theory, 128.0);
+  EXPECT_GT(r.mean_fills, r.theory * 0.5);
+  EXPECT_LT(r.mean_fills, r.theory * 2.0);
+}
+
+TEST(BruteForce, CostScalesWithFilterSize) {
+  const auto small = brute_force_attack(tiny_filter(4), 25, 1);
+  FilterConfig big = tiny_filter(4);
+  big.l = 128;  // 4x entries
+  const auto large = brute_force_attack(big, 25, 1);
+  EXPECT_GT(large.mean_fills, small.mean_fills * 2.0);
+}
+
+TEST(Targeted, LinearAtMnkZero) {
+  // MNK = 0: the drop happens in the filled bucket; expected ~2b fills
+  // (the factor 2 from the random candidate-bucket choice).
+  const auto r = targeted_attack(tiny_filter(0), 40, 7);
+  EXPECT_EQ(r.censored, 0u);
+  EXPECT_DOUBLE_EQ(r.theory, 4.0);  // b^(0+1)
+  EXPECT_LT(r.mean_fills, 40.0);    // linear-time attack
+}
+
+TEST(Targeted, CostExplodesWithMnk) {
+  // Fig 7: every extra relocation moves the autonomic drop one random hop
+  // away from the bucket the adversary can aim at.
+  const auto mnk0 = targeted_attack(tiny_filter(0), 20, 9, 100000);
+  const auto mnk2 = targeted_attack(tiny_filter(2), 20, 9, 100000);
+  EXPECT_GT(mnk2.mean_fills, mnk0.mean_fills * 5.0);
+}
+
+TEST(Targeted, TheoryFollowsBPowMnkPlusOne) {
+  EXPECT_DOUBLE_EQ(targeted_attack(tiny_filter(0), 1, 1, 10).theory, 4.0);
+  EXPECT_DOUBLE_EQ(targeted_attack(tiny_filter(1), 1, 1, 10).theory, 16.0);
+  EXPECT_DOUBLE_EQ(targeted_attack(tiny_filter(2), 1, 1, 10).theory, 64.0);
+  FilterConfig paper;
+  EXPECT_DOUBLE_EQ(targeted_attack(paper, 0, 1, 1).theory, 32768.0);
+}
+
+TEST(FalseDeletion, ClassicFilterIsVulnerable) {
+  // Section V-A: with a small fingerprint space an alias is found quickly
+  // and erase(alias) silently removes the victim's record.
+  FilterConfig cfg;
+  cfg.l = 16;
+  cfg.b = 4;
+  cfg.f = 6;  // 64 fingerprints: aliases are cheap
+  cfg.mnk = 8;
+  const auto r = false_deletion_attack(cfg, 42);
+  EXPECT_TRUE(r.target_removed);
+  EXPECT_GT(r.scanned, 0u);
+  EXPECT_LT(r.scanned, 1'000'000u);
+}
+
+TEST(FalseDeletion, ScanCapRespected) {
+  FilterConfig cfg;
+  cfg.l = 1024;
+  cfg.b = 8;
+  cfg.f = 32;  // aliases astronomically rare
+  const auto r = false_deletion_attack(cfg, 1, /*scan_cap=*/1000);
+  EXPECT_FALSE(r.target_removed);
+  EXPECT_GE(r.scanned, 1000u);
+}
+
+}  // namespace
+}  // namespace pipo

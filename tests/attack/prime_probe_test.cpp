@@ -1,0 +1,112 @@
+#include "attack/prime_probe.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+AttackerConfig two_target_config() {
+  AttackerConfig cfg;
+  cfg.eviction_sets = {{0x1000, 0x2000}, {0x5000, 0x6000}};
+  cfg.interval = 1000;
+  cfg.traversals = 3;
+  cfg.miss_threshold = 100;
+  return cfg;
+}
+
+TEST(PrimeProbe, TraversesAllSetsZigZag) {
+  PrimeProbeAttacker a(two_target_config());
+  std::vector<Addr> addrs;
+  Tick now = 0;
+  while (auto req = a.next(now)) {
+    addrs.push_back(req->addr);
+    a.on_complete(*req, now, now + 50);  // all hits
+    now += 50;
+  }
+  ASSERT_EQ(addrs.size(), 3u * 4u);
+  // Traversal 0: forward through both sets.
+  EXPECT_EQ(addrs[0], 0x1000u);
+  EXPECT_EQ(addrs[1], 0x2000u);
+  EXPECT_EQ(addrs[2], 0x5000u);
+  EXPECT_EQ(addrs[3], 0x6000u);
+  // Traversal 1: zig-zag — backwards within each set (anti-thrashing
+  // LRU traversal, Liu et al.).
+  EXPECT_EQ(addrs[4], 0x2000u);
+  EXPECT_EQ(addrs[5], 0x1000u);
+  EXPECT_EQ(addrs[6], 0x6000u);
+  EXPECT_EQ(addrs[7], 0x5000u);
+  // Traversal 2: forward again.
+  EXPECT_EQ(addrs[8], 0x1000u);
+  EXPECT_EQ(a.completed_traversals(), 3u);
+}
+
+TEST(PrimeProbe, PacesTraversalsOnInterval) {
+  PrimeProbeAttacker a(two_target_config());
+  Tick now = 0;
+  auto req = a.next(now);  // traversal 0 head: scheduled at 0
+  ASSERT_TRUE(req);
+  EXPECT_EQ(req->pre_delay, 0u);
+  // Finish traversal 0 quickly.
+  for (int i = 0; i < 4; ++i) {
+    a.on_complete(*req, now, now + 10);
+    now += 10;
+    req = a.next(now);
+  }
+  // Traversal 1 head must wait until tick 1000.
+  ASSERT_TRUE(req);
+  EXPECT_EQ(req->pre_delay, 1000u - now);
+}
+
+TEST(PrimeProbe, ClassifiesMissesPerTarget) {
+  PrimeProbeAttacker a(two_target_config());
+  Tick now = 0;
+  int idx = 0;
+  while (auto req = a.next(now)) {
+    // Make target 1's first line slow in traversal 1 only.
+    const bool slow = (idx == 4 + 2);
+    const Tick lat = slow ? 235 : 40;
+    a.on_complete(*req, now, now + lat);
+    now += lat;
+    ++idx;
+  }
+  EXPECT_FALSE(a.observations()[0][0]);
+  EXPECT_FALSE(a.observations()[0][1]);
+  EXPECT_FALSE(a.observations()[1][0]);
+  EXPECT_TRUE(a.observations()[1][1]);
+  EXPECT_EQ(a.miss_counts()[1][1], 1u);
+  EXPECT_EQ(a.miss_counts()[0][1], 0u);
+}
+
+TEST(PrimeProbe, ThresholdBoundaryIsExclusive) {
+  PrimeProbeAttacker a(two_target_config());
+  auto req = a.next(0);
+  ASSERT_TRUE(req);
+  a.on_complete(*req, 0, 100);  // exactly threshold: not a miss
+  EXPECT_FALSE(a.observations()[0][0]);
+  req = a.next(100);
+  a.on_complete(*req, 100, 201);  // 101 > threshold: miss
+  EXPECT_TRUE(a.observations()[0][0]);
+}
+
+TEST(PrimeProbe, FinishesAfterConfiguredTraversals) {
+  AttackerConfig cfg = two_target_config();
+  cfg.traversals = 2;
+  PrimeProbeAttacker a(cfg);
+  int count = 0;
+  Tick now = 0;
+  while (auto req = a.next(now)) {
+    a.on_complete(*req, now, now + 10);
+    now += 10;
+    ++count;
+  }
+  EXPECT_EQ(count, 2 * 4);
+  EXPECT_FALSE(a.next(now).has_value());
+}
+
+TEST(PrimeProbe, RejectsEmptyConfig) {
+  AttackerConfig cfg;
+  EXPECT_THROW(PrimeProbeAttacker{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,111 @@
+#include "attack/victim.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+VictimConfig config_with_key(std::vector<bool> key) {
+  VictimConfig cfg;
+  cfg.square_addr = 0x1000;
+  cfg.multiply_addr = 0x2000;
+  cfg.key = std::move(key);
+  cfg.bit_period = 1000;
+  cfg.multiply_phase = 500;
+  cfg.start_offset = 0;
+  cfg.iterations = 4;
+  return cfg;
+}
+
+TEST(Victim, SquareEveryIterationMultiplyOnOnes) {
+  SquareMultiplyVictim v(config_with_key({true, false, true, false}));
+  std::vector<Addr> addrs;
+  Tick now = 0;
+  while (auto req = v.next(now)) {
+    now += req->pre_delay;
+    addrs.push_back(req->addr);
+  }
+  // bits: 1,0,1,0 -> S M S S M S
+  EXPECT_EQ(addrs, (std::vector<Addr>{0x1000, 0x2000, 0x1000, 0x1000,
+                                      0x2000, 0x1000}));
+}
+
+TEST(Victim, AllOnesKeyDoublesAccesses) {
+  SquareMultiplyVictim v(config_with_key({true, true}));
+  int squares = 0, multiplies = 0;
+  Tick now = 0;
+  while (auto req = v.next(now)) {
+    now += req->pre_delay;
+    (req->addr == 0x1000 ? squares : multiplies)++;
+  }
+  EXPECT_EQ(squares, 4);     // 4 iterations (key wraps)
+  EXPECT_EQ(multiplies, 4);
+}
+
+TEST(Victim, OpsAreInstructionFetches) {
+  SquareMultiplyVictim v(config_with_key({true}));
+  const auto req = v.next(0);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(static_cast<int>(req->type),
+            static_cast<int>(AccessType::kInstFetch));
+}
+
+TEST(Victim, SchedulePacesOnAbsoluteTime) {
+  VictimConfig cfg = config_with_key({true, true});
+  cfg.start_offset = 100;
+  SquareMultiplyVictim v(cfg);
+  // First square at 100.
+  auto r1 = v.next(0);
+  ASSERT_TRUE(r1);
+  EXPECT_EQ(r1->pre_delay, 100u);
+  // Multiply at 100 + 500 = 600; completion of square at, say, 335.
+  auto r2 = v.next(335);
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(r2->pre_delay, 265u);
+  // Next square at 1100; completion at 835.
+  auto r3 = v.next(835);
+  ASSERT_TRUE(r3);
+  EXPECT_EQ(r3->pre_delay, 265u);
+}
+
+TEST(Victim, LateCompletionIssuesImmediately) {
+  SquareMultiplyVictim v(config_with_key({true}));
+  v.next(0);
+  // Completion far past the multiply's scheduled time: no extra delay.
+  const auto req = v.next(50'000);
+  ASSERT_TRUE(req);
+  EXPECT_EQ(req->pre_delay, 0u);
+}
+
+TEST(Victim, KeyWrapsAroundIterations) {
+  VictimConfig cfg = config_with_key({true, false});
+  cfg.iterations = 6;
+  SquareMultiplyVictim v(cfg);
+  EXPECT_TRUE(v.key_bit(0));
+  EXPECT_FALSE(v.key_bit(1));
+  EXPECT_TRUE(v.key_bit(2));
+  EXPECT_FALSE(v.key_bit(5));
+}
+
+TEST(Victim, RejectsBadConfig) {
+  VictimConfig empty;
+  empty.key = {};
+  EXPECT_THROW(SquareMultiplyVictim{empty}, std::invalid_argument);
+  VictimConfig bad = config_with_key({true});
+  bad.multiply_phase = bad.bit_period;
+  EXPECT_THROW(SquareMultiplyVictim{bad}, std::invalid_argument);
+}
+
+TEST(Victim, MakeTestKeyDeterministicAndBalanced) {
+  const auto k1 = make_test_key(256, 9);
+  const auto k2 = make_test_key(256, 9);
+  EXPECT_EQ(k1, k2);
+  int ones = 0;
+  for (bool b : k1) ones += b;
+  EXPECT_GT(ones, 64);
+  EXPECT_LT(ones, 192);
+  EXPECT_NE(make_test_key(256, 10), k1);
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,105 @@
+#include "cache/replacement.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruPolicy lru(1, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) lru.on_fill(0, w);
+  // Access 0,1,2 — way 3 is now LRU.
+  lru.on_access(0, 0);
+  lru.on_access(0, 1);
+  lru.on_access(0, 2);
+  EXPECT_EQ(lru.victim(0), 3u);
+  lru.on_access(0, 3);
+  EXPECT_EQ(lru.victim(0), 0u);
+}
+
+TEST(Lru, SetsAreIndependent) {
+  LruPolicy lru(2, 2);
+  lru.on_fill(0, 0);
+  lru.on_fill(0, 1);
+  lru.on_fill(1, 1);
+  lru.on_fill(1, 0);
+  EXPECT_EQ(lru.victim(0), 0u);
+  EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(Lru, InvalidatedWayBecomesVictim) {
+  LruPolicy lru(1, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) lru.on_fill(0, w);
+  lru.on_invalidate(0, 2);
+  EXPECT_EQ(lru.victim(0), 2u);
+}
+
+TEST(Random, VictimCoversAllWays) {
+  RandomPolicy rnd(8, 42);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rnd.victim(0));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, VictimInRange) {
+  RandomPolicy rnd(4, 1);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rnd.victim(3), 4u);
+}
+
+TEST(TreePlru, RequiresPow2Ways) {
+  EXPECT_THROW(TreePlruPolicy(1, 3), std::invalid_argument);
+  EXPECT_NO_THROW(TreePlruPolicy(1, 8));
+}
+
+TEST(TreePlru, VictimIsNotMostRecentlyTouched) {
+  TreePlruPolicy plru(1, 8);
+  for (std::uint32_t w = 0; w < 8; ++w) plru.on_fill(0, w);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t touched = static_cast<std::uint32_t>(i * 3) % 8;
+    plru.on_access(0, touched);
+    EXPECT_NE(plru.victim(0), touched);
+  }
+}
+
+TEST(TreePlru, CyclesThroughAllWaysUnderFillPressure) {
+  TreePlruPolicy plru(1, 4);
+  std::set<std::uint32_t> victims;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = plru.victim(0);
+    victims.insert(v);
+    plru.on_fill(0, v);
+  }
+  EXPECT_EQ(victims.size(), 4u);
+}
+
+TEST(Srrip, HitPromotionProtectsLine) {
+  SrripPolicy srrip(1, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) srrip.on_fill(0, w);
+  srrip.on_access(0, 2);  // RRPV 0
+  // Victim must not be the just-promoted way.
+  EXPECT_NE(srrip.victim(0), 2u);
+}
+
+TEST(Srrip, InvalidatedWayPreferred) {
+  SrripPolicy srrip(1, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    srrip.on_fill(0, w);
+    srrip.on_access(0, w);
+  }
+  srrip.on_invalidate(0, 1);
+  EXPECT_EQ(srrip.victim(0), 1u);
+}
+
+TEST(Factory, CreatesEveryPolicy) {
+  for (ReplPolicy p : {ReplPolicy::kLru, ReplPolicy::kRandom,
+                       ReplPolicy::kTreePlru, ReplPolicy::kSrrip}) {
+    auto policy = ReplacementPolicy::create(p, 4, 4, 7);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_LT(policy->victim(0), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace pipo

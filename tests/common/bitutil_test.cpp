@@ -1,0 +1,65 @@
+#include "common/bitutil.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(BitUtil, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1025));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+}
+
+TEST(BitUtil, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4), 2u);
+  EXPECT_EQ(log2_floor(1023), 9u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_floor(~0ull), 63u);
+}
+
+TEST(BitUtil, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+  EXPECT_EQ(log2_exact(1ull << 40), 40u);
+}
+
+TEST(BitUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1ull);
+  EXPECT_EQ(next_pow2(1), 1ull);
+  EXPECT_EQ(next_pow2(2), 2ull);
+  EXPECT_EQ(next_pow2(3), 4ull);
+  EXPECT_EQ(next_pow2(1000), 1024ull);
+  EXPECT_EQ(next_pow2(1024), 1024ull);
+}
+
+TEST(BitUtil, Bits) {
+  EXPECT_EQ(bits(0xABCD, 0, 4), 0xDull);
+  EXPECT_EQ(bits(0xABCD, 4, 4), 0xCull);
+  EXPECT_EQ(bits(0xABCD, 8, 8), 0xABull);
+  EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(BitUtil, LowMask) {
+  EXPECT_EQ(low_mask(0), 0ull);
+  EXPECT_EQ(low_mask(1), 1ull);
+  EXPECT_EQ(low_mask(12), 0xFFFull);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+TEST(BitUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0ull);
+  EXPECT_EQ(ceil_div(1, 4), 1ull);
+  EXPECT_EQ(ceil_div(4, 4), 1ull);
+  EXPECT_EQ(ceil_div(5, 4), 2ull);
+}
+
+}  // namespace
+}  // namespace pipo

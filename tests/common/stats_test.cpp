@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(Counter, StartsAtZeroAndIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, TracksMinMaxMean) {
+  Accumulator a;
+  a.sample(2.0);
+  a.sample(4.0);
+  a.sample(9.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, Variance) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.sample(v);
+  EXPECT_NEAR(a.variance(), 4.0, 1e-9);
+}
+
+TEST(Histogram, BucketsSamples) {
+  Histogram h(4, 10.0);
+  h.sample(0.0);
+  h.sample(9.9);
+  h.sample(10.0);
+  h.sample(35.0);
+  h.sample(100.0);  // overflow
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.summary().count(), 5u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h(2, 1.0);
+  h.sample(0.5);
+  h.sample(10.0);
+  h.reset();
+  EXPECT_EQ(h.buckets()[0], 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.summary().count(), 0u);
+}
+
+TEST(StatGroup, FindCounterByDottedPath) {
+  StatGroup root("system");
+  StatGroup* l3 = root.add_group("l3");
+  Counter* misses = l3->add_counter("misses", "LLC misses");
+  misses->inc(7);
+  const Counter* found = root.find_counter("l3.misses");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value(), 7u);
+  EXPECT_EQ(root.find_counter("l3.nothing"), nullptr);
+  EXPECT_EQ(root.find_counter("nope.misses"), nullptr);
+}
+
+TEST(StatGroup, AddGroupIsIdempotent) {
+  StatGroup root("r");
+  StatGroup* a = root.add_group("g");
+  StatGroup* b = root.add_group("g");
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatGroup, DumpContainsNamesAndValues) {
+  StatGroup root("root");
+  root.add_counter("hits")->inc(3);
+  std::ostringstream os;
+  root.dump(os);
+  EXPECT_NE(os.str().find("hits"), std::string::npos);
+  EXPECT_NE(os.str().find('3'), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllClearsSubtree) {
+  StatGroup root("root");
+  root.add_counter("a")->inc(5);
+  root.add_group("sub")->add_counter("b")->inc(6);
+  root.reset_all();
+  EXPECT_EQ(root.find_counter("a")->value(), 0u);
+  EXPECT_EQ(root.find_counter("sub.b")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,44 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(Types, LineOfStripsOffset) {
+  EXPECT_EQ(line_of(0), 0ull);
+  EXPECT_EQ(line_of(63), 0ull);
+  EXPECT_EQ(line_of(64), 1ull);
+  EXPECT_EQ(line_of(127), 1ull);
+  EXPECT_EQ(line_of(0x1000), 0x40ull);
+}
+
+TEST(Types, ByteOfIsInverseOfLineOf) {
+  for (Addr a : {Addr{0}, Addr{64}, Addr{0xDEAD00}, Addr{1} << 40}) {
+    EXPECT_EQ(line_of(byte_of(line_of(a))), line_of(a));
+  }
+}
+
+TEST(Types, LineAlign) {
+  EXPECT_EQ(line_align(0), 0ull);
+  EXPECT_EQ(line_align(63), 0ull);
+  EXPECT_EQ(line_align(64), 64ull);
+  EXPECT_EQ(line_align(100), 64ull);
+}
+
+TEST(Types, AddressesInSameLineShareLineAddr) {
+  const Addr base = 0xABCDE0ull & ~Addr{63};
+  for (unsigned off = 0; off < kLineSizeBytes; ++off) {
+    EXPECT_EQ(line_of(base + off), line_of(base));
+  }
+  EXPECT_NE(line_of(base + kLineSizeBytes), line_of(base));
+}
+
+TEST(Types, IsRead) {
+  EXPECT_TRUE(is_read(AccessType::kLoad));
+  EXPECT_TRUE(is_read(AccessType::kInstFetch));
+  EXPECT_FALSE(is_read(AccessType::kStore));
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,112 @@
+#include "filter/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "filter/auto_cuckoo_filter.h"
+
+namespace pipo {
+namespace {
+
+FilterConfig small_config() {
+  FilterConfig cfg;
+  cfg.l = 64;
+  cfg.b = 4;
+  cfg.f = 10;
+  cfg.mnk = 4;
+  return cfg;
+}
+
+TEST(FilterAudit, TracksResidencyThroughInserts) {
+  const FilterConfig cfg = small_config();
+  FilterAudit audit(cfg);
+  AutoCuckooFilter f(cfg, &audit);
+  f.access(0x123);
+  EXPECT_TRUE(audit.resident(0x123));
+  EXPECT_FALSE(audit.resident(0x999));
+}
+
+TEST(FilterAudit, GroundTruthMatchesFilterSize) {
+  // The number of non-empty audited slots must equal the filter's valid
+  // entry count at every step (the audit mirrors the layout exactly).
+  const FilterConfig cfg = small_config();
+  FilterAudit audit(cfg);
+  AutoCuckooFilter f(cfg, &audit);
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    f.access(rng.below(1ull << 40));
+    std::uint64_t audited = 0;
+    for (const auto& [k, v] : audit.collision_histogram()) audited += v;
+    ASSERT_EQ(audited, f.size()) << "after access " << i;
+  }
+}
+
+TEST(FilterAudit, DropCountMatchesFilter) {
+  const FilterConfig cfg = small_config();
+  FilterAudit audit(cfg);
+  AutoCuckooFilter f(cfg, &audit);
+  Rng rng(6);
+  for (int i = 0; i < 4000; ++i) f.access(rng.below(1ull << 40));
+  EXPECT_EQ(audit.drops(), f.autonomic_deletions());
+}
+
+TEST(FilterAudit, CollisionEntriesDetected) {
+  // With a tiny fingerprint space, distinct addresses sharing fingerprint
+  // and bucket merge into one entry; the audit must classify them.
+  FilterConfig cfg = small_config();
+  cfg.f = 4;  // 16 fingerprints: collisions guaranteed quickly
+  FilterAudit audit(cfg);
+  AutoCuckooFilter f(cfg, &audit);
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) f.access(rng.below(1ull << 40));
+  const auto hist = audit.collision_histogram();
+  std::uint64_t colliding = 0;
+  for (const auto& [k, v] : hist) {
+    if (k >= 2) colliding += v;
+  }
+  EXPECT_GT(colliding, 0u);
+  EXPECT_GT(audit.collision_entry_ratio(), 0.0);
+}
+
+TEST(FilterAudit, NoCollisionsWithWideFingerprint) {
+  FilterConfig cfg = small_config();
+  cfg.f = 28;
+  FilterAudit audit(cfg);
+  AutoCuckooFilter f(cfg, &audit);
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) f.access(rng.below(1ull << 40));
+  EXPECT_NEAR(audit.collision_entry_ratio(), 0.0, 0.002);
+}
+
+TEST(FilterAudit, QueryHitMergesAddressIntoEntry) {
+  const FilterConfig cfg = small_config();
+  FilterAudit audit(cfg);
+  AutoCuckooFilter f(cfg, &audit);
+  f.access(0xAB);
+  f.access(0xAB);
+  // Same address re-accessed: still exactly one entry with one address.
+  const auto hist = audit.collision_histogram();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist.begin()->first, 1u);
+  EXPECT_EQ(hist.begin()->second, 1u);
+}
+
+TEST(FilterAudit, ResidencyLostAfterEviction) {
+  const FilterConfig cfg = small_config();
+  FilterAudit audit(cfg);
+  AutoCuckooFilter f(cfg, &audit);
+  Rng rng(9);
+  f.access(0xF00D);
+  ASSERT_TRUE(audit.resident(0xF00D));
+  // Pound the filter until the target is autonomically deleted.
+  std::uint64_t fills = 0;
+  while (audit.resident(0xF00D) && fills < 500000) {
+    f.access(rng.below(1ull << 40));
+    ++fills;
+  }
+  EXPECT_FALSE(audit.resident(0xF00D));
+  EXPECT_GT(audit.dropped_addresses(), 0u);
+}
+
+}  // namespace
+}  // namespace pipo

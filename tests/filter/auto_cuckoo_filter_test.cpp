@@ -1,0 +1,177 @@
+#include "filter/auto_cuckoo_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pipo {
+namespace {
+
+FilterConfig small_config() {
+  FilterConfig cfg;
+  cfg.l = 64;
+  cfg.b = 4;
+  cfg.f = 12;
+  cfg.mnk = 4;
+  cfg.sec_thr = 3;
+  return cfg;
+}
+
+TEST(AutoCuckooFilter, FirstAccessInsertsWithSecurityZero) {
+  AutoCuckooFilter f(small_config());
+  const auto r = f.access(0x1000);
+  EXPECT_FALSE(r.existed);
+  EXPECT_EQ(r.security, 0u);
+  EXPECT_FALSE(r.ping_pong);
+  EXPECT_TRUE(f.contains(0x1000));
+  EXPECT_EQ(f.security_of(0x1000).value(), 0u);
+}
+
+TEST(AutoCuckooFilter, ReAccessIncrementsSecurity) {
+  AutoCuckooFilter f(small_config());
+  f.access(0x1000);
+  const auto r1 = f.access(0x1000);
+  EXPECT_TRUE(r1.existed);
+  EXPECT_EQ(r1.security, 1u);
+  const auto r2 = f.access(0x1000);
+  EXPECT_EQ(r2.security, 2u);
+}
+
+TEST(AutoCuckooFilter, PingPongCapturedAtSecThr) {
+  // Section IV: Response == secThr marks the Ping-Pong pattern. With
+  // secThr = 3, the third re-access (fourth Access) captures the line.
+  AutoCuckooFilter f(small_config());
+  f.access(0xAA00);
+  EXPECT_FALSE(f.access(0xAA00).ping_pong);  // Security 1
+  EXPECT_FALSE(f.access(0xAA00).ping_pong);  // Security 2
+  const auto r = f.access(0xAA00);           // Security 3
+  EXPECT_TRUE(r.ping_pong);
+  EXPECT_EQ(r.security, 3u);
+  EXPECT_EQ(f.ping_pong_captures(), 1u);
+}
+
+TEST(AutoCuckooFilter, SecuritySaturatesAtCounterMax) {
+  AutoCuckooFilter f(small_config());
+  for (int i = 0; i < 10; ++i) f.access(0xBB00);
+  EXPECT_EQ(f.security_of(0xBB00).value(), 3u);  // 2-bit counter
+  EXPECT_TRUE(f.access(0xBB00).ping_pong);       // stays captured
+}
+
+TEST(AutoCuckooFilter, SecThrOneCapturesOnFirstReAccess) {
+  FilterConfig cfg = small_config();
+  cfg.sec_thr = 1;
+  AutoCuckooFilter f(cfg);
+  f.access(0xCC00);
+  EXPECT_TRUE(f.access(0xCC00).ping_pong);
+}
+
+TEST(AutoCuckooFilter, InsertNeverFails) {
+  // The Auto-Cuckoo filter's insertion "never fails" (Section V-A): every
+  // access either leaves the new record resident or completed a full
+  // relocation chain ending in exactly one autonomic deletion (which, if
+  // the random walk revisits the new record's bucket, can rarely be the
+  // new record itself). Nothing is ever refused.
+  AutoCuckooFilter f(small_config());
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const LineAddr x = rng.below(1ull << 40);
+    const std::uint64_t drops_before = f.autonomic_deletions();
+    f.access(x);
+    EXPECT_TRUE(f.contains(x) || f.autonomic_deletions() == drops_before + 1)
+        << "insert refused without autonomic deletion: " << x;
+  }
+}
+
+TEST(AutoCuckooFilter, OccupancyReachesFull) {
+  // Fig 3: occupancy climbs to 100% as insertions accumulate, even with
+  // small MNK, because historical insertions keep finding vacancies.
+  FilterConfig cfg = small_config();
+  cfg.mnk = 2;
+  AutoCuckooFilter f(cfg);
+  Rng rng(8);
+  for (int i = 0; i < 40 * 256; ++i) f.access(rng.below(1ull << 40));
+  EXPECT_DOUBLE_EQ(f.occupancy(), 1.0);
+}
+
+TEST(AutoCuckooFilter, AutonomicDeletionsHappenWhenFull) {
+  AutoCuckooFilter f(small_config());
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) f.access(rng.below(1ull << 40));
+  EXPECT_GT(f.autonomic_deletions(), 0u);
+  // Size can never exceed capacity.
+  EXPECT_LE(f.size(), small_config().entries());
+}
+
+TEST(AutoCuckooFilter, SizeNeverExceedsCapacityInvariant) {
+  AutoCuckooFilter f(small_config());
+  Rng rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    f.access(rng.below(1ull << 40));
+    ASSERT_LE(f.size(), small_config().entries());
+  }
+}
+
+TEST(AutoCuckooFilter, MnkZeroStillInsertsNewItem) {
+  // With MNK = 0 the displaced victim is dropped immediately, but the new
+  // fingerprint must still be resident (insertion succeeds).
+  FilterConfig cfg = small_config();
+  cfg.mnk = 0;
+  AutoCuckooFilter f(cfg);
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const LineAddr x = rng.below(1ull << 40);
+    f.access(x);
+    ASSERT_TRUE(f.contains(x));
+  }
+  EXPECT_GT(f.autonomic_deletions(), 0u);
+}
+
+TEST(AutoCuckooFilter, StatsAreConsistent) {
+  AutoCuckooFilter f(small_config());
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) f.access(rng.below(256));  // heavy reuse
+  EXPECT_EQ(f.accesses(), 1000u);
+  EXPECT_EQ(f.hits() + f.new_entries(), 1000u);
+  EXPECT_GT(f.hits(), 0u);
+}
+
+TEST(AutoCuckooFilter, SecurityMovesWithRelocatedRecords) {
+  // Build up Security on one record, then force churn; whenever the
+  // record is still resident its Security must not have decreased
+  // (fPrint Array and Data Array move in lockstep).
+  AutoCuckooFilter f(small_config());
+  Rng rng(13);
+  f.access(0x5A5A);
+  f.access(0x5A5A);
+  f.access(0x5A5A);  // Security = 2
+  const auto before = f.security_of(0x5A5A);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(*before, 2u);
+  for (int i = 0; i < 2000 && f.contains(0x5A5A); ++i) {
+    f.access(rng.below(1ull << 40));
+    const auto sec = f.security_of(0x5A5A);
+    if (!sec) break;  // genuinely dropped by autonomic deletion
+    ASSERT_GE(*sec, 2u);
+  }
+}
+
+TEST(AutoCuckooFilter, ContainsHasNoSideEffects) {
+  AutoCuckooFilter f(small_config());
+  f.access(0x77);
+  const auto before = f.security_of(0x77);
+  f.contains(0x77);
+  f.contains(0x77);
+  EXPECT_EQ(f.security_of(0x77), before);
+}
+
+TEST(AutoCuckooFilter, ClearResetsContents) {
+  AutoCuckooFilter f(small_config());
+  f.access(1);
+  f.access(2);
+  f.clear();
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_FALSE(f.contains(1));
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,91 @@
+#include "filter/filter_config.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(FilterConfig, PaperDefaultMatchesTableII) {
+  const FilterConfig cfg = FilterConfig::paper_default();
+  EXPECT_EQ(cfg.l, 1024u);
+  EXPECT_EQ(cfg.b, 8u);
+  EXPECT_EQ(cfg.f, 12u);
+  EXPECT_EQ(cfg.sec_thr, 3u);
+  EXPECT_EQ(cfg.mnk, 4u);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(FilterConfig, EntriesIsLTimesB) {
+  FilterConfig cfg;
+  cfg.l = 512;
+  cfg.b = 4;
+  EXPECT_EQ(cfg.entries(), 2048u);
+}
+
+TEST(FilterConfig, PaperFalsePositiveRate) {
+  // Section V-B: with f=12, b=8: eps = 2b/2^f = 16/4096 = 0.0039 ~ 0.004.
+  const FilterConfig cfg = FilterConfig::paper_default();
+  EXPECT_NEAR(cfg.false_positive_rate_approx(), 0.00390625, 1e-9);
+  EXPECT_NEAR(cfg.false_positive_rate(), 0.0039, 2e-4);
+  // The exact expression is bounded above by the approximation.
+  EXPECT_LT(cfg.false_positive_rate(), cfg.false_positive_rate_approx());
+}
+
+TEST(FilterConfig, EpsilonDecreasesExponentiallyInF) {
+  FilterConfig cfg;
+  double prev = 1.0;
+  for (std::uint32_t f = 8; f <= 16; ++f) {
+    cfg.f = f;
+    const double eps = cfg.false_positive_rate();
+    EXPECT_LT(eps, prev);
+    // The 2b/2^f approximation is an upper bound, tight to a few percent
+    // at f=8 and converging as f grows.
+    EXPECT_NEAR(eps / cfg.false_positive_rate_approx(), 1.0, 0.05);
+    prev = eps;
+  }
+}
+
+TEST(FilterConfig, PaperStorageIs15KB) {
+  // Section VII-D: 8192 entries x (12 + 2 + 1) bits = 122880 bits = 15 KB.
+  const FilterConfig cfg = FilterConfig::paper_default();
+  EXPECT_EQ(cfg.storage_bits(), 122880u);
+  EXPECT_DOUBLE_EQ(cfg.storage_kib(), 15.0);
+}
+
+TEST(FilterConfig, CounterMax) {
+  FilterConfig cfg;
+  cfg.counter_bits = 2;
+  EXPECT_EQ(cfg.counter_max(), 3u);
+  cfg.counter_bits = 4;
+  EXPECT_EQ(cfg.counter_max(), 15u);
+}
+
+TEST(FilterConfig, ValidateRejectsNonPow2Buckets) {
+  FilterConfig cfg;
+  cfg.l = 1000;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(FilterConfig, ValidateRejectsZeroEntries) {
+  FilterConfig cfg;
+  cfg.b = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(FilterConfig, ValidateRejectsBadFingerprintWidth) {
+  FilterConfig cfg;
+  cfg.f = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.f = 33;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(FilterConfig, ValidateRejectsSecThrAboveSaturation) {
+  FilterConfig cfg;
+  cfg.counter_bits = 2;
+  cfg.sec_thr = 4;  // saturation is 3
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipo

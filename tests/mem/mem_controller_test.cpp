@@ -1,0 +1,61 @@
+#include "mem/mem_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(MemController, FetchTakesDramLatency) {
+  MemController mc(MemConfig{200, 4});
+  EXPECT_EQ(mc.fetch(1000, 1, MemController::Reason::kDemand), 1200u);
+}
+
+TEST(MemController, BackToBackFetchesSerializeOnChannel) {
+  MemController mc(MemConfig{200, 4});
+  EXPECT_EQ(mc.fetch(0, 1, MemController::Reason::kDemand), 200u);
+  // Second request at the same tick waits for the 4-cycle burst.
+  EXPECT_EQ(mc.fetch(0, 2, MemController::Reason::kDemand), 204u);
+  EXPECT_EQ(mc.fetch(0, 3, MemController::Reason::kDemand), 208u);
+  EXPECT_EQ(mc.total_queue_delay(), 4u + 8u);
+}
+
+TEST(MemController, IdleChannelHasNoQueueDelay) {
+  MemController mc(MemConfig{200, 4});
+  mc.fetch(0, 1, MemController::Reason::kDemand);
+  EXPECT_EQ(mc.fetch(1000, 2, MemController::Reason::kDemand), 1200u);
+  EXPECT_EQ(mc.total_queue_delay(), 0u);
+}
+
+TEST(MemController, WritebacksOccupyChannel) {
+  MemController mc(MemConfig{200, 4});
+  mc.writeback(0, 1);
+  // The following fetch queues behind the writeback burst.
+  EXPECT_EQ(mc.fetch(0, 2, MemController::Reason::kDemand), 204u);
+  EXPECT_EQ(mc.writebacks(), 1u);
+}
+
+TEST(MemController, CountsByReason) {
+  MemController mc(MemConfig{});
+  mc.fetch(0, 1, MemController::Reason::kDemand);
+  mc.fetch(300, 2, MemController::Reason::kPrefetch);
+  mc.fetch(600, 3, MemController::Reason::kDemand);
+  mc.writeback(900, 4);
+  EXPECT_EQ(mc.demand_fetches(), 2u);
+  EXPECT_EQ(mc.prefetch_fetches(), 1u);
+  EXPECT_EQ(mc.writebacks(), 1u);
+}
+
+TEST(MemController, ResetStats) {
+  MemController mc(MemConfig{});
+  mc.fetch(0, 1, MemController::Reason::kDemand);
+  mc.reset_stats();
+  EXPECT_EQ(mc.demand_fetches(), 0u);
+  EXPECT_EQ(mc.total_queue_delay(), 0u);
+}
+
+TEST(MemController, PaperDefaultLatencyIs200) {
+  EXPECT_EQ(MemConfig::paper_default().dram_latency, 200u);
+}
+
+}  // namespace
+}  // namespace pipo

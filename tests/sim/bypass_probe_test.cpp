@@ -1,0 +1,111 @@
+// LLC-direct probe accesses (MemRequest::bypass_private): the modeled
+// result of a real Prime+Probe attacker's engineered probe patterns.
+// These semantics carry the whole Fig 6 experiment, so they get their own
+// suite.
+#include <gtest/gtest.h>
+
+#include "sim/system.h"
+#include "tests/sim/test_configs.h"
+
+namespace pipo {
+namespace {
+
+using testcfg::mini;
+using testcfg::mini_baseline;
+
+constexpr Addr kAddr = 0x40000;
+
+TEST(BypassProbe, DoesNotInstallPrivateCopies) {
+  System sys(mini_baseline());
+  sys.access(0, 0, kAddr, AccessType::kLoad, /*bypass_private=*/true);
+  EXPECT_FALSE(sys.l1d(0).lookup(line_of(kAddr)).has_value());
+  EXPECT_FALSE(sys.l1i(0).lookup(line_of(kAddr)).has_value());
+  EXPECT_FALSE(sys.l2(0).lookup(line_of(kAddr)).has_value());
+  EXPECT_TRUE(sys.l3().lookup(line_of(kAddr)).has_value());
+}
+
+TEST(BypassProbe, LeavesPresenceEmpty) {
+  System sys(mini_baseline());
+  sys.access(0, 0, kAddr, AccessType::kLoad, true);
+  const auto slot = sys.l3().lookup(line_of(kAddr));
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(sys.l3().line_for(line_of(kAddr), *slot).presence, 0u);
+}
+
+TEST(BypassProbe, MissPaysMemoryLatencyHitPaysL3) {
+  System sys(mini_baseline());
+  const auto miss = sys.access(0, 0, kAddr, AccessType::kLoad, true);
+  EXPECT_EQ(miss.level, HitLevel::kMemory);
+  EXPECT_GE(miss.latency, sys.llc_miss_threshold());
+  const auto hit = sys.access(1000, 0, kAddr, AccessType::kLoad, true);
+  EXPECT_EQ(hit.level, HitLevel::kL3);
+  EXPECT_EQ(hit.latency, sys.config().l3.latency);
+  EXPECT_LT(hit.latency, sys.llc_miss_threshold());
+}
+
+TEST(BypassProbe, MissIsObservedByMonitor) {
+  System sys(mini());
+  sys.access(0, 0, kAddr, AccessType::kLoad, true);
+  EXPECT_EQ(sys.monitor().accesses(), 1u);
+  sys.access(300, 0, kAddr, AccessType::kLoad, true);  // L3 hit: no Access
+  EXPECT_EQ(sys.monitor().accesses(), 1u);
+}
+
+TEST(BypassProbe, TouchUpdatesLlcRecency) {
+  // Fill an 8-way mini set with probes, re-touch the first line, then
+  // fill once more: the re-touched line must survive (LRU honored).
+  System sys(mini_baseline());
+  constexpr Addr kStride = 4096;
+  for (int i = 0; i < 8; ++i) {
+    sys.access(i * 300, 0, kAddr + static_cast<Addr>(i) * kStride,
+               AccessType::kLoad, true);
+  }
+  sys.access(3000, 0, kAddr, AccessType::kLoad, true);  // refresh line 0
+  sys.access(3300, 0, kAddr + 8 * kStride, AccessType::kLoad, true);
+  EXPECT_TRUE(sys.l3().lookup(line_of(kAddr)).has_value());
+  EXPECT_FALSE(sys.l3().lookup(line_of(kAddr + kStride)).has_value())
+      << "the untouched second line was LRU and must have been evicted";
+}
+
+TEST(BypassProbe, SetsAccessedBitOnTaggedLines) {
+  System sys(mini());
+  constexpr Addr kStride = 4096;
+  Tick t = 0;
+  // Ping-pong kAddr until captured+tagged (4 fetch/evict rounds).
+  for (int round = 0; round < 5; ++round) {
+    sys.access(t, 1, kAddr, AccessType::kLoad);
+    t += 300;
+    for (int i = 1; i <= 8; ++i) {
+      sys.access(t, 0, kAddr + static_cast<Addr>(round * 8 + i) * kStride,
+                 AccessType::kLoad);
+      t += 300;
+    }
+  }
+  sys.drain_prefetches(t + 10'000);  // prefetched fill: accessed = false
+  auto slot = sys.l3().lookup(line_of(kAddr));
+  ASSERT_TRUE(slot.has_value());
+  ASSERT_TRUE(sys.l3().line_for(line_of(kAddr), *slot).pp_tag);
+  ASSERT_FALSE(sys.l3().line_for(line_of(kAddr), *slot).pp_accessed);
+  // A probe touch re-arms the accessed bit, exactly like a demand hit.
+  sys.access(t + 20'000, 0, kAddr, AccessType::kLoad, true);
+  slot = sys.l3().lookup(line_of(kAddr));
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_TRUE(sys.l3().line_for(line_of(kAddr), *slot).pp_accessed);
+}
+
+TEST(BypassProbe, EvictionStillBackInvalidatesOwners) {
+  // A probe's fill evicting an owned line must back-invalidate the
+  // owner's private copies — this is the channel the attacker reads.
+  System sys(mini_baseline());
+  constexpr Addr kStride = 4096;
+  sys.access(0, 1, kAddr, AccessType::kLoad);  // victim owns the line
+  for (int i = 1; i <= 8; ++i) {
+    sys.access(i * 300, 0, kAddr + static_cast<Addr>(i) * kStride,
+               AccessType::kLoad, true);
+  }
+  EXPECT_GT(sys.stats().back_invalidations, 0u);
+  EXPECT_FALSE(sys.l1d(1).lookup(line_of(kAddr)).has_value());
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,123 @@
+// MESI coherence behaviour across cores through the inclusive L3
+// directory.
+#include <gtest/gtest.h>
+
+#include "sim/system.h"
+#include "tests/sim/test_configs.h"
+
+namespace pipo {
+namespace {
+
+using testcfg::mini;
+
+Mesi state_in_l1d(System& sys, CoreId c, Addr a) {
+  const auto slot = sys.l1d(c).lookup(line_of(a));
+  return slot ? sys.l1d(c).line(*slot).state : Mesi::kInvalid;
+}
+
+TEST(Coherence, FirstReaderGetsExclusive) {
+  System sys(mini());
+  sys.access(0, 0, 0x1000, AccessType::kLoad);
+  EXPECT_EQ(state_in_l1d(sys, 0, 0x1000), Mesi::kExclusive);
+}
+
+TEST(Coherence, SecondReaderDowngradesToShared) {
+  System sys(mini());
+  sys.access(0, 0, 0x1000, AccessType::kLoad);
+  sys.access(300, 1, 0x1000, AccessType::kLoad);
+  EXPECT_EQ(state_in_l1d(sys, 0, 0x1000), Mesi::kShared);
+  EXPECT_EQ(state_in_l1d(sys, 1, 0x1000), Mesi::kShared);
+}
+
+TEST(Coherence, SecondReaderHitsL3NotMemory) {
+  System sys(mini());
+  sys.access(0, 0, 0x1000, AccessType::kLoad);
+  const auto out = sys.access(300, 1, 0x1000, AccessType::kLoad);
+  EXPECT_EQ(out.level, HitLevel::kL3);
+}
+
+TEST(Coherence, StoreGetsModified) {
+  System sys(mini());
+  sys.access(0, 0, 0x2000, AccessType::kStore);
+  EXPECT_EQ(state_in_l1d(sys, 0, 0x2000), Mesi::kModified);
+}
+
+TEST(Coherence, StoreInvalidatesOtherSharers) {
+  System sys(mini());
+  sys.access(0, 0, 0x3000, AccessType::kLoad);
+  sys.access(300, 1, 0x3000, AccessType::kLoad);
+  sys.access(600, 1, 0x3000, AccessType::kStore);
+  EXPECT_EQ(state_in_l1d(sys, 0, 0x3000), Mesi::kInvalid);
+  EXPECT_EQ(state_in_l1d(sys, 1, 0x3000), Mesi::kModified);
+  EXPECT_GT(sys.stats().invalidations_for_write, 0u);
+}
+
+TEST(Coherence, UpgradeFromSharedCountsAndCostsDirectoryTrip) {
+  System sys(mini());
+  sys.access(0, 0, 0x3000, AccessType::kLoad);
+  sys.access(300, 1, 0x3000, AccessType::kLoad);
+  const auto out = sys.access(600, 1, 0x3000, AccessType::kStore);
+  // L1 hit (line shared in core 1's L1) + directory upgrade round trip.
+  EXPECT_EQ(out.level, HitLevel::kL1);
+  EXPECT_EQ(out.latency, 2u + 35u);
+  EXPECT_EQ(sys.stats().upgrades, 1u);
+}
+
+TEST(Coherence, SilentExclusiveToModifiedUpgrade) {
+  System sys(mini());
+  sys.access(0, 0, 0x4000, AccessType::kLoad);  // E
+  const auto out = sys.access(300, 0, 0x4000, AccessType::kStore);
+  EXPECT_EQ(out.latency, 2u);  // no directory transaction
+  EXPECT_EQ(sys.stats().upgrades, 0u);
+  EXPECT_EQ(state_in_l1d(sys, 0, 0x4000), Mesi::kModified);
+}
+
+TEST(Coherence, ReadAfterRemoteModifiedMergesDirtyIntoL3) {
+  System sys(mini());
+  sys.access(0, 0, 0x5000, AccessType::kStore);  // core0: M
+  sys.access(300, 1, 0x5000, AccessType::kLoad);
+  EXPECT_EQ(state_in_l1d(sys, 0, 0x5000), Mesi::kShared);
+  EXPECT_EQ(state_in_l1d(sys, 1, 0x5000), Mesi::kShared);
+  const auto slot = sys.l3().lookup(line_of(0x5000));
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_TRUE(sys.l3().line_for(line_of(0x5000), *slot).dirty);
+}
+
+TEST(Coherence, PresenceBitsTrackSharers) {
+  System sys(mini());
+  sys.access(0, 0, 0x6000, AccessType::kLoad);
+  sys.access(300, 2, 0x6000, AccessType::kLoad);
+  const auto slot = sys.l3().lookup(line_of(0x6000));
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(sys.l3().line_for(line_of(0x6000), *slot).presence, 0b0101u);
+}
+
+TEST(Coherence, WriterOwnsPresenceAfterInvalidation) {
+  System sys(mini());
+  sys.access(0, 0, 0x7000, AccessType::kLoad);
+  sys.access(300, 1, 0x7000, AccessType::kLoad);
+  sys.access(600, 3, 0x7000, AccessType::kStore);
+  const auto slot = sys.l3().lookup(line_of(0x7000));
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(sys.l3().line_for(line_of(0x7000), *slot).presence, 0b1000u);
+}
+
+TEST(Coherence, CrossCoreBackInvalidationVisibleToVictim) {
+  // The attack primitive: core 1's line dies when core 0 fills the LLC
+  // set — without core 1 doing anything.
+  System sys(mini());
+  const Addr victim_line = 0x0;
+  sys.access(0, 1, victim_line, AccessType::kLoad);
+  Tick t = 300;
+  for (int i = 1; i <= 8; ++i) {
+    sys.access(t, 0, victim_line + static_cast<Addr>(i) * 4096,
+               AccessType::kLoad);
+    t += 300;
+  }
+  EXPECT_EQ(state_in_l1d(sys, 1, victim_line), Mesi::kInvalid);
+  const auto out = sys.access(t, 1, victim_line, AccessType::kLoad);
+  EXPECT_EQ(out.level, HitLevel::kMemory);  // must refetch: the Ping-Pong
+}
+
+}  // namespace
+}  // namespace pipo

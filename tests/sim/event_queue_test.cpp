@@ -1,0 +1,77 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(7, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.schedule_in(10, chain);
+  };
+  q.schedule(0, chain);
+  q.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(10, [&] { ++fired; });
+  q.schedule(20, [&] { ++fired; });
+  q.schedule(30, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 20u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle) {
+  EventQueue q;
+  q.run_until(100);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, RunOneOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_one());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  Tick seen = 0;
+  q.schedule(50, [&] { q.schedule_in(25, [&] { seen = q.now(); }); });
+  q.run_all();
+  EXPECT_EQ(seen, 75u);
+}
+
+}  // namespace
+}  // namespace pipo

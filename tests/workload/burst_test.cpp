@@ -1,0 +1,126 @@
+// The conflict-burst ("warm") machinery of the synthetic workloads — the
+// mechanism behind Fig 8(b)'s benign false positives.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/profile.h"
+#include "workload/synthetic.h"
+
+namespace pipo {
+namespace {
+
+BenchmarkProfile bursty_profile() {
+  BenchmarkProfile p;
+  p.name = "bursty";
+  p.working_set_bytes = 1 << 20;
+  p.hot_bytes = 8 << 10;
+  p.warm_bytes = 24 * 64 * 4;  // 4 conflict groups of 24 lines
+  p.warm_burst_every = 2000;
+  p.frac_hot = 0.5;
+  p.frac_stream = 0.3;
+  p.frac_random = 0.2;
+  p.mean_gap = 2;
+  return p;
+}
+
+std::vector<MemRequest> drain(SyntheticWorkload& wl) {
+  std::vector<MemRequest> out;
+  while (auto r = wl.next(0)) out.push_back(*r);
+  return out;
+}
+
+TEST(ConflictBurst, BurstsHappenAtRoughlyTheConfiguredRate) {
+  SyntheticWorkload wl(bursty_profile(), 0x1000000, 300'000, 7);
+  drain(wl);
+  // ~100K accesses; each burst cycle = 2000 countdown accesses + 192
+  // warm accesses + 7 lap gaps x 600 ordinary accesses ~ 6400, so expect
+  // ~15 bursts.
+  EXPECT_GE(wl.warm_bursts_started(), 10u);
+  EXPECT_LE(wl.warm_bursts_started(), 25u);
+}
+
+TEST(ConflictBurst, DisabledWithoutWarmRegion) {
+  BenchmarkProfile p = bursty_profile();
+  p.warm_bytes = 0;
+  SyntheticWorkload wl(p, 0x1000000, 100'000, 7);
+  drain(wl);
+  EXPECT_EQ(wl.warm_bursts_started(), 0u);
+}
+
+TEST(ConflictBurst, DisabledWithZeroRate) {
+  BenchmarkProfile p = bursty_profile();
+  p.warm_burst_every = 0;
+  SyntheticWorkload wl(p, 0x1000000, 100'000, 7);
+  drain(wl);
+  EXPECT_EQ(wl.warm_bursts_started(), 0u);
+}
+
+TEST(ConflictBurst, WarmLinesAreLlcCongruentWithinAGroup) {
+  // All addresses above the streaming working set must fall into a small
+  // number of LLC congruence classes (the groups), 24 lines each.
+  const BenchmarkProfile p = bursty_profile();
+  SyntheticWorkload wl(p, 0, 400'000, 7);
+  constexpr std::uint64_t kStrideLines = 4096;  // Table II congruence
+  const std::uint64_t ws_lines = p.working_set_bytes / 64;
+  std::map<std::uint64_t, std::set<LineAddr>> lines_by_class;
+  while (auto r = wl.next(0)) {
+    const LineAddr line = line_of(r->addr);
+    if (line >= ws_lines) {
+      lines_by_class[line % kStrideLines].insert(line);
+    }
+  }
+  ASSERT_FALSE(lines_by_class.empty()) << "no warm accesses generated";
+  EXPECT_LE(lines_by_class.size(), 4u);  // one class per group
+  for (const auto& [cls, lines] : lines_by_class) {
+    EXPECT_LE(lines.size(), 24u) << "class " << cls;
+    EXPECT_GE(lines.size(), 20u) << "class " << cls;
+  }
+}
+
+TEST(ConflictBurst, LapsRevisitTheSameLines) {
+  // Within one burst, every line is accessed kWarmGroupLaps (8) times;
+  // across the whole run, per-line access counts must be multiples of
+  // laps per completed burst.
+  const BenchmarkProfile p = bursty_profile();
+  SyntheticWorkload wl(p, 0, 200'000, 11);
+  const std::uint64_t ws_lines = p.working_set_bytes / 64;
+  std::map<LineAddr, int> count;
+  while (auto r = wl.next(0)) {
+    const LineAddr line = line_of(r->addr);
+    if (line >= ws_lines) ++count[line];
+  }
+  ASSERT_FALSE(count.empty());
+  int max_count = 0;
+  for (const auto& [line, n] : count) max_count = std::max(max_count, n);
+  EXPECT_GE(max_count, 8) << "a completed burst laps each line 8 times";
+}
+
+TEST(ConflictBurst, QuasiPeriodicScheduleIsDeterministic) {
+  SyntheticWorkload a(bursty_profile(), 0x1000000, 100'000, 99);
+  SyntheticWorkload b(bursty_profile(), 0x1000000, 100'000, 99);
+  while (true) {
+    const auto ra = a.next(0);
+    const auto rb = b.next(0);
+    ASSERT_EQ(ra.has_value(), rb.has_value());
+    if (!ra) break;
+    ASSERT_EQ(ra->addr, rb->addr);
+    ASSERT_EQ(ra->pre_delay, rb->pre_delay);
+  }
+  EXPECT_EQ(a.warm_bursts_started(), b.warm_bursts_started());
+}
+
+TEST(ConflictBurst, PaperProfilesWithBurstsNameTheIrregularCodes) {
+  // The profiles carrying Fig 8(b)'s false positives are the irregular /
+  // memory-intensive benchmarks; the compute-bound ones must stay quiet.
+  for (const char* name : {"libquantum", "mcf", "sphinx3", "gcc", "milc"}) {
+    EXPECT_GT(spec_profile(name).warm_burst_every, 0u) << name;
+  }
+  for (const char* name : {"gobmk", "sjeng", "calculix", "gromacs"}) {
+    EXPECT_EQ(spec_profile(name).warm_burst_every, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pipo

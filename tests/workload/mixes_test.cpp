@@ -1,0 +1,66 @@
+#include "workload/mixes.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+
+namespace pipo {
+namespace {
+
+TEST(Mixes, TableIIIComposition) {
+  // Spot-check Table III verbatim.
+  EXPECT_EQ(mix_components(1),
+            (std::array<std::string, 4>{"libquantum", "mcf", "sphinx3",
+                                        "gobmk"}));
+  EXPECT_EQ(mix_components(7),
+            (std::array<std::string, 4>{"gcc", "milc", "gobmk", "calculix"}));
+  EXPECT_EQ(mix_components(10),
+            (std::array<std::string, 4>{"gromacs", "gobmk", "gcc", "hmmer"}));
+}
+
+TEST(Mixes, AllTenMixesBuild) {
+  for (unsigned m = 1; m <= num_mixes(); ++m) {
+    auto wls = make_mix(m, 1000, 1);
+    EXPECT_EQ(wls.size(), 4u) << "mix" << m;
+    for (auto& wl : wls) EXPECT_NE(wl, nullptr);
+  }
+}
+
+TEST(Mixes, OutOfRangeThrows) {
+  EXPECT_THROW(mix_components(0), std::out_of_range);
+  EXPECT_THROW(mix_components(11), std::out_of_range);
+  EXPECT_THROW(make_mix(0, 100, 1), std::out_of_range);
+}
+
+TEST(Mixes, WorkloadsUseDisjointRegions) {
+  auto wls = make_mix(3, 5000, 2);
+  std::vector<std::pair<Addr, Addr>> ranges;
+  for (auto& wl : wls) {
+    Addr lo = ~Addr{0}, hi = 0;
+    while (auto req = wl->next(0)) {
+      lo = std::min(lo, req->addr);
+      hi = std::max(hi, req->addr);
+    }
+    ranges.emplace_back(lo, hi);
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+      const bool overlap = ranges[i].first <= ranges[j].second &&
+                           ranges[j].first <= ranges[i].second;
+      EXPECT_FALSE(overlap) << "cores " << i << " and " << j;
+    }
+  }
+}
+
+TEST(Mixes, SeedVariesStreams) {
+  auto a = make_mix(1, 2000, 10);
+  auto b = make_mix(1, 2000, 11);
+  auto ra = a[0]->next(0);
+  auto rb = b[0]->next(0);
+  ASSERT_TRUE(ra && rb);
+  // Same base region, but the offsets should differ almost surely.
+  EXPECT_NE(ra->addr ^ rb->addr, 0u);
+}
+
+}  // namespace
+}  // namespace pipo

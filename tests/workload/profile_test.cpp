@@ -1,0 +1,50 @@
+#include "workload/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(Profile, AllTableIIIBenchmarksDefined) {
+  for (const char* name :
+       {"libquantum", "mcf", "sphinx3", "gobmk", "bzip2", "sjeng", "hmmer",
+        "calculix", "h264ref", "astar", "gromacs", "gcc", "milc"}) {
+    EXPECT_NO_THROW(spec_profile(name)) << name;
+  }
+  EXPECT_EQ(spec_benchmarks().size(), 13u);
+}
+
+TEST(Profile, UnknownNameThrows) {
+  EXPECT_THROW(spec_profile("doom"), std::invalid_argument);
+}
+
+TEST(Profile, FractionsNormalized) {
+  for (const auto& name : spec_benchmarks()) {
+    const BenchmarkProfile p = spec_profile(name);
+    EXPECT_NEAR(p.frac_hot + p.frac_stream + p.frac_random, 1.0, 1e-9)
+        << name;
+    EXPECT_GE(p.store_ratio, 0.0);
+    EXPECT_LE(p.store_ratio, 1.0);
+  }
+}
+
+TEST(Profile, MemoryIntensiveBenchmarksHaveLargeWorkingSets) {
+  // The streaming/pointer-chasing codes must exceed the 4 MB LLC so they
+  // generate the memory traffic Fig 8 depends on.
+  EXPECT_GT(spec_profile("libquantum").working_set_bytes, 4u << 20);
+  EXPECT_GT(spec_profile("mcf").working_set_bytes, 4u << 20);
+  EXPECT_GT(spec_profile("milc").working_set_bytes, 4u << 20);
+  // The compute-bound ones fit comfortably.
+  EXPECT_LE(spec_profile("sjeng").working_set_bytes, 1u << 20);
+  EXPECT_LE(spec_profile("gobmk").working_set_bytes, 1u << 20);
+}
+
+TEST(Profile, HotRegionNeverExceedsWorkingSet) {
+  for (const auto& name : spec_benchmarks()) {
+    const BenchmarkProfile p = spec_profile(name);
+    EXPECT_LE(p.hot_bytes, p.working_set_bytes) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,125 @@
+#include "workload/synthetic.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+BenchmarkProfile test_profile() {
+  BenchmarkProfile p;
+  p.name = "test";
+  p.working_set_bytes = 1 << 20;
+  p.hot_bytes = 8 << 10;
+  p.frac_hot = 0.5;
+  p.frac_stream = 0.3;
+  p.frac_random = 0.2;
+  p.store_ratio = 0.25;
+  p.mean_gap = 3;
+  return p;
+}
+
+TEST(Synthetic, RespectsInstructionBudget) {
+  SyntheticWorkload wl(test_profile(), 0x1000000, 10000, 42);
+  std::uint64_t instrs = 0;
+  while (auto req = wl.next(0)) instrs += 1 + req->pre_delay;
+  EXPECT_GE(instrs, 10000u);
+  EXPECT_LE(instrs, 10000u + 65u);  // one request may overshoot
+  EXPECT_EQ(instrs, wl.generated_instructions());
+}
+
+TEST(Synthetic, AddressesStayInWorkingSet) {
+  const Addr base = 0x40000000;
+  SyntheticWorkload wl(test_profile(), base, 20000, 1);
+  while (auto req = wl.next(0)) {
+    EXPECT_GE(req->addr, base);
+    EXPECT_LT(req->addr, base + test_profile().working_set_bytes);
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  SyntheticWorkload a(test_profile(), 0x1000, 5000, 7);
+  SyntheticWorkload b(test_profile(), 0x1000, 5000, 7);
+  while (true) {
+    auto ra = a.next(0);
+    auto rb = b.next(0);
+    ASSERT_EQ(ra.has_value(), rb.has_value());
+    if (!ra) break;
+    EXPECT_EQ(ra->addr, rb->addr);
+    EXPECT_EQ(static_cast<int>(ra->type), static_cast<int>(rb->type));
+    EXPECT_EQ(ra->pre_delay, rb->pre_delay);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentStreams) {
+  SyntheticWorkload a(test_profile(), 0x1000, 5000, 7);
+  SyntheticWorkload b(test_profile(), 0x1000, 5000, 8);
+  int same = 0, total = 0;
+  while (true) {
+    auto ra = a.next(0);
+    auto rb = b.next(0);
+    if (!ra || !rb) break;
+    same += (ra->addr == rb->addr);
+    ++total;
+  }
+  EXPECT_LT(same, total / 2);
+}
+
+TEST(Synthetic, StoreRatioApproximatelyHonored) {
+  SyntheticWorkload wl(test_profile(), 0x1000, 200000, 3);
+  int stores = 0, total = 0;
+  while (auto req = wl.next(0)) {
+    stores += (req->type == AccessType::kStore);
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(stores) / total, 0.25, 0.02);
+}
+
+TEST(Synthetic, MeanGapApproximatelyHonored) {
+  SyntheticWorkload wl(test_profile(), 0x1000, 200000, 4);
+  double gaps = 0;
+  int total = 0;
+  while (auto req = wl.next(0)) {
+    gaps += req->pre_delay;
+    ++total;
+  }
+  EXPECT_NEAR(gaps / total, 3.0, 0.3);
+}
+
+TEST(Synthetic, HotRegionGetsDisproportionateTraffic) {
+  BenchmarkProfile p = test_profile();
+  SyntheticWorkload wl(p, 0, 200000, 5);
+  std::uint64_t hot = 0, total = 0;
+  while (auto req = wl.next(0)) {
+    hot += (req->addr < p.hot_bytes);
+    ++total;
+  }
+  // frac_hot of accesses land in hot_bytes/working_set = 1/128 of the
+  // space; plus a small share of stream/random traffic.
+  EXPECT_GT(static_cast<double>(hot) / total, 0.4);
+}
+
+TEST(Synthetic, StreamingProfileCoversWorkingSetBroadly) {
+  BenchmarkProfile p = test_profile();
+  p.frac_hot = 0.0;
+  p.frac_stream = 1.0;
+  p.frac_random = 0.0;
+  p.working_set_bytes = 64 << 10;  // 1024 lines
+  SyntheticWorkload wl(p, 0, 100000, 6);
+  std::set<LineAddr> lines;
+  while (auto req = wl.next(0)) lines.insert(line_of(req->addr));
+  EXPECT_GT(lines.size(), 900u);
+}
+
+TEST(Synthetic, DisjointBasesDoNotOverlap) {
+  const Addr a = SyntheticWorkload::disjoint_base(0, 1);
+  const Addr b = SyntheticWorkload::disjoint_base(1, 1);
+  const Addr c = SyntheticWorkload::disjoint_base(0, 2);
+  EXPECT_GE(b - a, Addr{1} << 35);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,104 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace pipo {
+namespace {
+
+std::vector<MemRequest> sample_trace() {
+  std::vector<MemRequest> t;
+  MemRequest a;
+  a.addr = 0x1000;
+  a.type = AccessType::kLoad;
+  a.pre_delay = 3;
+  MemRequest b;
+  b.addr = 0xDEADBEEF40;
+  b.type = AccessType::kStore;
+  MemRequest c;
+  c.addr = 0x42;
+  c.type = AccessType::kInstFetch;
+  c.pre_delay = 100;
+  MemRequest d;
+  d.addr = 0x77C0;
+  d.type = AccessType::kLoad;
+  d.bypass_private = true;
+  t.insert(t.end(), {a, b, c, d});
+  return t;
+}
+
+TEST(TraceIo, RoundTripsExactly) {
+  const auto t = sample_trace();
+  std::stringstream ss;
+  save_trace(ss, t);
+  const auto back = load_trace(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i].addr, t[i].addr) << i;
+    EXPECT_EQ(back[i].type, t[i].type) << i;
+    EXPECT_EQ(back[i].pre_delay, t[i].pre_delay) << i;
+    EXPECT_EQ(back[i].bypass_private, t[i].bypass_private) << i;
+  }
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n1000 L 0\n\n# mid comment\n2000 S 5\n");
+  const auto t = load_trace(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x1000u);
+  EXPECT_EQ(t[1].addr, 0x2000u);
+  EXPECT_EQ(t[1].type, AccessType::kStore);
+  EXPECT_EQ(t[1].pre_delay, 5u);
+}
+
+TEST(TraceIo, ProbeLinesSetBypass) {
+  std::stringstream ss("abc P 0\n");
+  const auto t = load_trace(ss);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t[0].bypass_private);
+  EXPECT_EQ(t[0].type, AccessType::kLoad);
+}
+
+TEST(TraceIo, RejectsUnknownType) {
+  std::stringstream ss("1000 X 0\n");
+  EXPECT_THROW(load_trace(ss), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsMalformedLineWithLineNumber) {
+  std::stringstream ss("1000 L 0\nnot-a-trace-line\n");
+  try {
+    load_trace(ss);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsTrailingTokens) {
+  std::stringstream ss("1000 L 0 junk\n");
+  EXPECT_THROW(load_trace(ss), std::invalid_argument);
+}
+
+TEST(TraceIo, EmptyStreamGivesEmptyTrace) {
+  std::stringstream ss;
+  EXPECT_TRUE(load_trace(ss).empty());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "pipo_trace_test.txt";
+  const auto t = sample_trace();
+  save_trace_file(path, t);
+  const auto back = load_trace_file(path);
+  EXPECT_EQ(back.size(), t.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/path/trace.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pipo
