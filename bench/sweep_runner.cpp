@@ -1,0 +1,264 @@
+// Parallel configuration-sweep driver for the paper's evaluation grid.
+//
+// The figures 3-8 experiments all reduce to "run one (defense, workload,
+// seed) configuration through the simulator and collect stats" — each
+// Simulation is a self-contained single-threaded object, so independent
+// configurations are embarrassingly parallel. This runner fans the cross
+// product across worker threads and emits one JSON record per
+// configuration (an array on stdout or --out FILE), ready for BENCH_*.json
+// trajectory tracking.
+//
+// Usage:
+//   sweep_runner [--threads N] [--mixes 1-10] [--defenses all|none,pipo,...]
+//                [--seeds K] [--instr M] [--ws-div D] [--out FILE]
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/perf_experiment.h"
+#include "sim/system_config.h"
+#include "workload/mixes.h"
+
+namespace {
+
+using namespace pipo;
+
+struct Options {
+  unsigned threads = std::thread::hardware_concurrency();
+  unsigned mix_lo = 1, mix_hi = 10;
+  std::vector<DefenseKind> defenses;
+  unsigned seeds = 1;
+  std::uint64_t instr = 200'000;
+  std::uint64_t ws_div = 16;
+  std::string out;
+};
+
+DefenseKind parse_defense(const std::string& s) {
+  if (s == "none") return DefenseKind::kNone;
+  if (s == "pipo") return DefenseKind::kPiPoMonitor;
+  if (s == "dir") return DefenseKind::kDirectoryMonitor;
+  if (s == "sharp") return DefenseKind::kSharp;
+  if (s == "bitp") return DefenseKind::kBitp;
+  if (s == "ric") return DefenseKind::kRic;
+  throw std::invalid_argument("unknown defense: " + s +
+                              " (none|pipo|dir|sharp|bitp|ric)");
+}
+
+std::vector<DefenseKind> all_defenses() {
+  return {DefenseKind::kNone,  DefenseKind::kPiPoMonitor,
+          DefenseKind::kDirectoryMonitor, DefenseKind::kSharp,
+          DefenseKind::kBitp,  DefenseKind::kRic};
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  o.defenses = all_defenses();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (++i >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[i];
+    };
+    if (arg == "--threads") {
+      o.threads = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--mixes") {
+      const std::string v = value();
+      const auto dash = v.find('-');
+      if (dash == std::string::npos) {
+        o.mix_lo = o.mix_hi = static_cast<unsigned>(std::stoul(v));
+      } else {
+        o.mix_lo = static_cast<unsigned>(std::stoul(v.substr(0, dash)));
+        o.mix_hi = static_cast<unsigned>(std::stoul(v.substr(dash + 1)));
+      }
+    } else if (arg == "--defenses") {
+      const std::string v = value();
+      if (v == "all") continue;
+      o.defenses.clear();
+      std::size_t start = 0;
+      while (start <= v.size()) {
+        const auto comma = v.find(',', start);
+        const auto end = comma == std::string::npos ? v.size() : comma;
+        o.defenses.push_back(parse_defense(v.substr(start, end - start)));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--seeds") {
+      o.seeds = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--instr") {
+      o.instr = std::stoull(value());
+    } else if (arg == "--ws-div") {
+      o.ws_div = std::stoull(value());
+    } else if (arg == "--out") {
+      o.out = value();
+    } else {
+      throw std::invalid_argument("unknown argument: " + arg);
+    }
+  }
+  if (o.threads == 0) o.threads = 1;
+  if (o.mix_lo < 1 || o.mix_hi > num_mixes() || o.mix_lo > o.mix_hi) {
+    throw std::invalid_argument("--mixes out of range 1..10");
+  }
+  return o;
+}
+
+struct Task {
+  unsigned mix;
+  DefenseKind defense;
+  std::uint64_t seed;
+};
+
+struct TaskResult {
+  Task task;
+  MixPerfResult r;
+  double wall_ms = 0;
+  std::string error;  ///< non-empty: the config failed instead of running
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void emit(std::FILE* f, const TaskResult& t, bool last) {
+  if (!t.error.empty()) {
+    std::fprintf(f,
+                 "  {\"mix\": %u, \"defense\": \"%s\", \"seed\": %llu, "
+                 "\"error\": \"%s\"}%s\n",
+                 t.task.mix, to_string(t.task.defense),
+                 static_cast<unsigned long long>(t.task.seed),
+                 json_escape(t.error).c_str(), last ? "" : ",");
+    return;
+  }
+  const System::Stats& s = t.r.stats;
+  std::fprintf(
+      f,
+      "  {\"mix\": %u, \"defense\": \"%s\", \"seed\": %llu, "
+      "\"exec_time\": %llu, \"instructions\": %llu, "
+      "\"prefetches\": %llu, \"captures\": %llu, "
+      "\"false_positives_per_mi\": %.4f, "
+      "\"l3_hits\": %llu, \"l3_misses\": %llu, "
+      "\"back_invalidations\": %llu, \"writebacks\": %llu, "
+      "\"wall_ms\": %.1f}%s\n",
+      t.task.mix, to_string(t.task.defense),
+      static_cast<unsigned long long>(t.task.seed),
+      static_cast<unsigned long long>(t.r.exec_time),
+      static_cast<unsigned long long>(t.r.instructions),
+      static_cast<unsigned long long>(t.r.prefetches),
+      static_cast<unsigned long long>(t.r.captures),
+      t.r.false_positives_per_mi,
+      static_cast<unsigned long long>(s.l3_hits),
+      static_cast<unsigned long long>(s.l3_misses),
+      static_cast<unsigned long long>(s.back_invalidations),
+      static_cast<unsigned long long>(s.writebacks), t.wall_ms,
+      last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    opt = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_runner: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<Task> tasks;
+  for (unsigned mix = opt.mix_lo; mix <= opt.mix_hi; ++mix) {
+    for (DefenseKind kind : opt.defenses) {
+      for (unsigned s = 0; s < opt.seeds; ++s) {
+        tasks.push_back(Task{mix, kind, 42 + s});
+      }
+    }
+  }
+
+  std::vector<TaskResult> results(tasks.size());
+  std::atomic<std::size_t> next{0};
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      const Task& t = tasks[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      // An escaping exception would std::terminate the whole sweep;
+      // record per-config failures and keep the other results instead.
+      try {
+        const MixPerfResult r =
+            run_mix_perf(t.mix, SystemConfig::with_defense(t.defense),
+                         opt.instr, t.seed, opt.ws_div);
+        const auto t1 = std::chrono::steady_clock::now();
+        results[i] = TaskResult{
+            t, r, std::chrono::duration<double, std::milli>(t1 - t0).count(),
+            {}};
+      } catch (const std::exception& e) {
+        results[i] = TaskResult{t, {}, 0, e.what()};
+      } catch (...) {
+        results[i] = TaskResult{t, {}, 0, "unknown error"};
+      }
+    }
+  };
+
+  const unsigned n_threads =
+      static_cast<unsigned>(std::min<std::size_t>(opt.threads, tasks.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+
+  const double sweep_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::FILE* f = stdout;
+  if (!opt.out.empty()) {
+    f = std::fopen(opt.out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "sweep_runner: cannot open %s\n",
+                   opt.out.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    emit(f, results[i], i + 1 == results.size());
+  }
+  std::fprintf(f, "]\n");
+  if (f != stdout) std::fclose(f);
+
+  std::size_t failed = 0;
+  for (const TaskResult& r : results) failed += r.error.empty() ? 0 : 1;
+  // Note: per-config wall_ms under thread oversubscription includes
+  // scheduler interleaving; compare whole-sweep times across --threads
+  // values to measure scaling.
+  std::fprintf(stderr,
+               "sweep_runner: %zu configs on %u threads in %.2fs "
+               "(%.1f configs/sec), %zu failed\n",
+               tasks.size(), n_threads, sweep_s,
+               static_cast<double>(tasks.size()) / sweep_s, failed);
+  return failed ? 1 : 0;
+}

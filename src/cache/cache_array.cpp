@@ -1,6 +1,9 @@
 #include "cache/cache_array.h"
 
+#include <bit>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace pipo {
 
@@ -11,15 +14,22 @@ CacheArray::CacheArray(const CacheConfig& cfg, unsigned index_shift,
       sets_(cfg.num_sets()),
       set_mask_(sets_ - 1),
       lines_(sets_ * cfg.ways),
+      tags_(sets_ * cfg.ways, 0),
+      occ_(sets_, 0),
       repl_(ReplacementPolicy::create(cfg.repl, sets_, cfg.ways, seed)) {
   cfg.validate();
+  if (cfg.ways > 64) {
+    throw std::invalid_argument(
+        "CacheArray: the packed occupancy mask supports at most 64 ways");
+  }
 }
 
 std::optional<CacheSlot> CacheArray::lookup(LineAddr line) const {
   const std::size_t set = set_of(line);
+  const std::uint64_t occ = occ_[set];
+  const LineAddr* tags = &tags_[set * cfg_.ways];
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    const CacheLine& l = lines_[set * cfg_.ways + w];
-    if (l.valid && l.addr == line) return CacheSlot{set, w};
+    if (((occ >> w) & 1u) && tags[w] == line) return CacheSlot{set, w};
   }
   return std::nullopt;
 }
@@ -29,14 +39,12 @@ CacheArray::FillResult CacheArray::fill(LineAddr line_addr,
   assert(!lookup(line_addr) && "fill() of an already-resident line");
   const std::size_t set = set_of(line_addr);
 
-  // Prefer a free way.
+  // Prefer a free way: first zero bit of the occupancy mask.
+  const std::uint64_t occ = occ_[set];
   std::uint32_t way = cfg_.ways;
-  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    if (!lines_[set * cfg_.ways + w].valid) {
-      way = w;
-      break;
-    }
-  }
+  const std::uint32_t first_free =
+      static_cast<std::uint32_t>(std::countr_one(occ));
+  if (first_free < cfg_.ways) way = first_free;
 
   std::optional<EvictedLine> evicted;
   if (way == cfg_.ways) {
@@ -47,12 +55,16 @@ CacheArray::FillResult CacheArray::fill(LineAddr line_addr,
     }
     way = override_way ? *override_way : repl_->victim(set);
     evicted = snapshot(lines_[set * cfg_.ways + way]);
+  } else {
+    ++valid_count_;
   }
 
   CacheLine& l = lines_[set * cfg_.ways + way];
   l = CacheLine{};
   l.valid = true;
   l.addr = line_addr;
+  tags_[set * cfg_.ways + way] = line_addr;
+  occ_[set] |= std::uint64_t{1} << way;
   repl_->on_fill(set, way);
   return FillResult{CacheSlot{set, way}, evicted};
 }
@@ -63,26 +75,44 @@ std::optional<EvictedLine> CacheArray::invalidate(LineAddr line_addr) {
   CacheLine& l = line(*slot);
   EvictedLine out = snapshot(l);
   l = CacheLine{};
+  occ_[slot->set] &= ~(std::uint64_t{1} << slot->way);
+  --valid_count_;
   repl_->on_invalidate(slot->set, slot->way);
   return out;
 }
 
 std::uint32_t CacheArray::valid_in_set(std::size_t set) const {
-  std::uint32_t n = 0;
-  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    n += lines_[set * cfg_.ways + w].valid ? 1 : 0;
-  }
-  return n;
+  return static_cast<std::uint32_t>(std::popcount(occ_[set]));
 }
 
-std::uint64_t CacheArray::valid_count() const {
-  std::uint64_t n = 0;
-  for (const CacheLine& l : lines_) n += l.valid ? 1 : 0;
-  return n;
+std::string CacheArray::check_mirror() const {
+  std::uint64_t valid = 0;
+  for (std::size_t set = 0; set < sets_; ++set) {
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+      const CacheLine& l = lines_[set * cfg_.ways + w];
+      const bool occ = (occ_[set] >> w) & 1u;
+      if (l.valid != occ) {
+        return cfg_.name + ": occupancy bit desync at set " +
+               std::to_string(set) + " way " + std::to_string(w);
+      }
+      if (l.valid && tags_[set * cfg_.ways + w] != l.addr) {
+        return cfg_.name + ": tag desync at set " + std::to_string(set) +
+               " way " + std::to_string(w);
+      }
+      valid += l.valid ? 1 : 0;
+    }
+  }
+  if (valid != valid_count_) {
+    return cfg_.name + ": valid_count drift (" + std::to_string(valid_count_) +
+           " cached vs " + std::to_string(valid) + " actual)";
+  }
+  return {};
 }
 
 void CacheArray::clear() {
   for (CacheLine& l : lines_) l = CacheLine{};
+  for (std::uint64_t& o : occ_) o = 0;
+  valid_count_ = 0;
 }
 
 EvictedLine CacheArray::snapshot(const CacheLine& l) {

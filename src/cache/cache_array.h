@@ -114,8 +114,16 @@ class CacheArray {
   /// Number of valid lines in `set` (attack-analysis helper).
   std::uint32_t valid_in_set(std::size_t set) const;
 
-  /// Total valid lines.
-  std::uint64_t valid_count() const;
+  /// Total valid lines. O(1): maintained incrementally by fill /
+  /// invalidate / clear.
+  std::uint64_t valid_count() const { return valid_count_; }
+
+  /// Audits the packed tag/occupancy mirror against the CacheLine
+  /// records (the mirror is only maintained by fill / invalidate /
+  /// clear — a writer mutating `valid`/`addr` through line() would
+  /// desynchronize it). Returns a description of the first mismatch, or
+  /// an empty string. Wired into System::check_invariants().
+  std::string check_mirror() const;
 
   void clear();
 
@@ -127,6 +135,16 @@ class CacheArray {
   std::size_t sets_;
   std::uint64_t set_mask_;
   std::vector<CacheLine> lines_;
+  // Structure-of-arrays mirror of the placement state. lookup() and the
+  // free-way scan in fill() touch only these packed vectors — one
+  // 64-bit occupancy word per set plus a contiguous tag row — instead of
+  // striding through the full CacheLine records. The CacheLine valid /
+  // addr fields stay authoritative for readers (VictimChooser, line());
+  // only fill / invalidate / clear mutate them, and they keep the mirror
+  // in sync.
+  std::vector<LineAddr> tags_;       ///< per-(set,way) line address
+  std::vector<std::uint64_t> occ_;   ///< per-set valid bitmask (ways <= 64)
+  std::uint64_t valid_count_ = 0;
   std::unique_ptr<ReplacementPolicy> repl_;
 };
 

@@ -32,12 +32,21 @@ std::unique_ptr<ReplacementPolicy> ReplacementPolicy::create(
   throw std::invalid_argument("unknown replacement policy");
 }
 
-TreePlruPolicy::TreePlruPolicy(std::size_t sets, std::uint32_t ways)
-    : ways_(ways), levels_(log2_exact(ways)), bits_(sets * (ways - 1), 0) {
-  if (!is_pow2(ways)) {
+namespace {
+std::uint32_t checked_pow2_ways(std::uint32_t ways) {
+  // Validate before log2_exact: its debug assertion would fire first in
+  // the member-initializer list and turn the contracted throw into abort.
+  if (ways == 0 || !is_pow2(ways)) {
     throw std::invalid_argument("TreePLRU requires power-of-two ways");
   }
+  return ways;
 }
+}  // namespace
+
+TreePlruPolicy::TreePlruPolicy(std::size_t sets, std::uint32_t ways)
+    : ways_(checked_pow2_ways(ways)),
+      levels_(log2_exact(ways)),
+      bits_(sets * (ways - 1), 0) {}
 
 void TreePlruPolicy::touch(std::size_t set, std::uint32_t way) {
   // Walk from the root toward `way`, pointing every node AWAY from it.

@@ -16,12 +16,13 @@ AutoCuckooFilter::Response AutoCuckooFilter::access(LineAddr x) {
     const std::size_t slot = array_.find_in_bucket(bkt, fp);
     if (slot != BucketArray::npos) {
       ++hits_;
-      FilterEntry& e = array_.at(bkt, slot);
-      e.security = std::min(e.security + 1, config().counter_max());
+      const std::uint32_t sec =
+          std::min(array_.security(bkt, slot) + 1, config().counter_max());
+      array_.set_security(bkt, slot, sec);
       observer_->on_query_hit(x, bkt, slot);
-      const bool pp = e.security >= config().sec_thr;
+      const bool pp = sec >= config().sec_thr;
       if (pp) ++ping_pong_captures_;
-      return Response{e.security, true, pp};
+      return Response{sec, true, pp};
     }
     if (b1 == b2) break;  // aliased candidates: one lookup suffices
   }
@@ -42,7 +43,7 @@ void AutoCuckooFilter::insert_new(LineAddr x, std::uint32_t fp,
   for (std::size_t bkt : {b1, b2}) {
     const std::size_t slot = array_.find_vacancy(bkt);
     if (slot != BucketArray::npos) {
-      array_.at(bkt, slot) = FilterEntry{true, fp, 0};
+      array_.set_entry(bkt, slot, FilterEntry{true, fp, 0});
       observer_->on_place(bkt, slot);
       return;
     }
@@ -57,7 +58,7 @@ void AutoCuckooFilter::insert_new(LineAddr x, std::uint32_t fp,
   FilterEntry in_hand{true, fp, 0};
   {
     const std::size_t victim_slot = rng_.below(config().b);
-    std::swap(in_hand, array_.at(bkt, victim_slot));
+    array_.swap_entry(bkt, victim_slot, in_hand);
     observer_->on_swap(bkt, victim_slot);
   }
   for (std::uint32_t relocation = 0; relocation < config().mnk;
@@ -66,12 +67,12 @@ void AutoCuckooFilter::insert_new(LineAddr x, std::uint32_t fp,
     bkt = array_.alt_bucket(bkt, in_hand.fprint);
     const std::size_t slot = array_.find_vacancy(bkt);
     if (slot != BucketArray::npos) {
-      array_.at(bkt, slot) = in_hand;
+      array_.set_entry(bkt, slot, in_hand);
       observer_->on_place(bkt, slot);
       return;
     }
     const std::size_t victim_slot = rng_.below(config().b);
-    std::swap(in_hand, array_.at(bkt, victim_slot));
+    array_.swap_entry(bkt, victim_slot, in_hand);
     observer_->on_swap(bkt, victim_slot);
   }
 
@@ -97,7 +98,7 @@ std::optional<std::uint32_t> AutoCuckooFilter::security_of(LineAddr x) const {
   const std::size_t b1 = array_.bucket1(x);
   for (std::size_t bkt : {b1, array_.alt_bucket(b1, fp)}) {
     const std::size_t slot = array_.find_in_bucket(bkt, fp);
-    if (slot != BucketArray::npos) return array_.at(bkt, slot).security;
+    if (slot != BucketArray::npos) return array_.security(bkt, slot);
   }
   return std::nullopt;
 }

@@ -5,9 +5,17 @@
 // Security saturating counter) with l sets of b entries each. The two
 // arrays move in lockstep during relocations, exactly as the hardware
 // would move fingerprint and counter together.
+//
+// Entries are stored bit-packed, one 64-bit word per entry holding
+// Valid(1) | fPrint(f) | Security(counter_bits) — the same field layout
+// the hardware tables use. A bucket's b words are contiguous, so the
+// lookup loop compares against a single masked word per slot instead of
+// loading a padded three-field struct, and the total valid count is
+// maintained incrementally so occupancy() is O(1) rather than O(l*b).
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bitutil.h"
@@ -26,8 +34,8 @@ struct FilterEntry {
   std::uint32_t security = 0;  ///< Security saturating counter
 };
 
-/// l x b matrix of FilterEntry with the partial-key cuckoo hashing index
-/// computations from Section II-B:
+/// l x b matrix of bit-packed entries with the partial-key cuckoo hashing
+/// index computations from Section II-B:
 ///   h1(x) = hash(x)                 (mod l)
 ///   h2(x) = h1(x) XOR hash(fp(x))   (mod l)
 class BucketArray {
@@ -36,10 +44,12 @@ class BucketArray {
       : cfg_(cfg),
         index_mask_(cfg.l - 1),
         fprint_mask_(low_mask(cfg.f)),
+        security_mask_(low_mask(cfg.counter_bits)),
+        security_shift_(1 + cfg.f),
         hash1_(cfg.hash_seed),
         fprint_hash_(cfg.hash_seed ^ 0x94D049BB133111EBull),
         alt_hash_(cfg.hash_seed ^ 0xD6E8FEB86659FD93ull),
-        entries_(static_cast<std::size_t>(cfg.l) * cfg.b) {
+        words_(static_cast<std::size_t>(cfg.l) * cfg.b, 0) {
     cfg.validate();
   }
 
@@ -67,66 +77,136 @@ class BucketArray {
     return alt_bucket(bucket1(x), fingerprint(x));
   }
 
-  FilterEntry& at(std::size_t bucket, std::size_t slot) {
-    return entries_[bucket * cfg_.b + slot];
+  /// Unpacked view of entry (bucket, slot), by value.
+  FilterEntry entry(std::size_t bucket, std::size_t slot) const {
+    return unpack(words_[index(bucket, slot)]);
   }
-  const FilterEntry& at(std::size_t bucket, std::size_t slot) const {
-    return entries_[bucket * cfg_.b + slot];
+
+  /// Overwrites entry (bucket, slot), keeping the valid count current.
+  void set_entry(std::size_t bucket, std::size_t slot, FilterEntry e) {
+    std::uint64_t& w = words_[index(bucket, slot)];
+    valid_count_ += static_cast<std::int64_t>(e.valid) -
+                    static_cast<std::int64_t>(w & 1u);
+    w = pack(e);
+  }
+
+  void clear_entry(std::size_t bucket, std::size_t slot) {
+    set_entry(bucket, slot, FilterEntry{});
+  }
+
+  std::uint32_t security(std::size_t bucket, std::size_t slot) const {
+    return static_cast<std::uint32_t>(
+        (words_[index(bucket, slot)] >> security_shift_) & security_mask_);
+  }
+
+  void set_security(std::size_t bucket, std::size_t slot, std::uint32_t v) {
+    std::uint64_t& w = words_[index(bucket, slot)];
+    w = (w & ~(security_mask_ << security_shift_)) |
+        (static_cast<std::uint64_t>(v & security_mask_) << security_shift_);
+  }
+
+  /// Swaps only the fingerprint field with `fp` (classic-filter kick: the
+  /// resident Security stays with its slot).
+  void swap_fprint(std::size_t bucket, std::size_t slot, std::uint32_t& fp) {
+    std::uint64_t& w = words_[index(bucket, slot)];
+    const auto resident = static_cast<std::uint32_t>((w >> 1) & fprint_mask_);
+    w = (w & ~(fprint_mask_ << 1))
+        | (static_cast<std::uint64_t>(fp & fprint_mask_) << 1);
+    fp = resident;
+  }
+
+  /// Swaps the whole entry with `e` (Auto-Cuckoo kick: fingerprint and
+  /// Security relocate together, fPrint and Data arrays in lockstep).
+  void swap_entry(std::size_t bucket, std::size_t slot, FilterEntry& e) {
+    std::uint64_t& w = words_[index(bucket, slot)];
+    const std::uint64_t incoming = pack(e);
+    valid_count_ += static_cast<std::int64_t>(incoming & 1u) -
+                    static_cast<std::int64_t>(w & 1u);
+    e = unpack(w);
+    w = incoming;
   }
 
   /// Index of a valid entry in `bucket` matching `fprint`, or npos.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t find_in_bucket(std::size_t bucket, std::uint32_t fprint) const {
+    const std::uint64_t want =
+        1u | (static_cast<std::uint64_t>(fprint & fprint_mask_) << 1);
+    const std::uint64_t mask = 1u | (fprint_mask_ << 1);
+    const std::uint64_t* w = &words_[bucket * cfg_.b];
     for (std::size_t s = 0; s < cfg_.b; ++s) {
-      const FilterEntry& e = at(bucket, s);
-      if (e.valid && e.fprint == fprint) return s;
+      if ((w[s] & mask) == want) return s;
     }
     return npos;
   }
 
   /// Index of an invalid (free) entry in `bucket`, or npos if full.
   std::size_t find_vacancy(std::size_t bucket) const {
+    const std::uint64_t* w = &words_[bucket * cfg_.b];
     for (std::size_t s = 0; s < cfg_.b; ++s) {
-      if (!at(bucket, s).valid) return s;
+      if (!(w[s] & 1u)) return s;
     }
     return npos;
   }
 
-  /// Number of valid entries across the whole array.
+  /// Number of valid entries across the whole array. O(1): maintained
+  /// incrementally by every mutation.
   std::uint64_t valid_count() const {
-    std::uint64_t n = 0;
-    for (const FilterEntry& e : entries_) n += e.valid ? 1 : 0;
-    return n;
+    return static_cast<std::uint64_t>(valid_count_);
   }
 
-  /// Fraction of entries that are valid, in [0,1].
+  /// Fraction of entries that are valid, in [0,1]. O(1).
   double occupancy() const {
-    return static_cast<double>(valid_count()) /
-           static_cast<double>(entries_.size());
+    return static_cast<double>(valid_count_) /
+           static_cast<double>(words_.size());
   }
 
   void clear() {
-    for (FilterEntry& e : entries_) e = FilterEntry{};
+    for (std::uint64_t& w : words_) w = 0;
+    valid_count_ = 0;
   }
 
-  /// Visits every entry: fn(bucket, slot, entry).
+  /// Visits every entry: fn(bucket, slot, entry). The entry is an
+  /// unpacked temporary — mutate through set_entry, not the argument.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (std::size_t bkt = 0; bkt < cfg_.l; ++bkt) {
       for (std::size_t s = 0; s < cfg_.b; ++s) {
-        fn(bkt, s, at(bkt, s));
+        fn(bkt, s, unpack(words_[bkt * cfg_.b + s]));
       }
     }
   }
 
  private:
+  std::size_t index(std::size_t bucket, std::size_t slot) const {
+    return bucket * cfg_.b + slot;
+  }
+
+  std::uint64_t pack(const FilterEntry& e) const {
+    return static_cast<std::uint64_t>(e.valid) |
+           (static_cast<std::uint64_t>(e.fprint & fprint_mask_) << 1) |
+           (static_cast<std::uint64_t>(e.security & security_mask_)
+            << security_shift_);
+  }
+
+  FilterEntry unpack(std::uint64_t w) const {
+    FilterEntry e;
+    e.valid = (w & 1u) != 0;
+    e.fprint = static_cast<std::uint32_t>((w >> 1) & fprint_mask_);
+    e.security =
+        static_cast<std::uint32_t>((w >> security_shift_) & security_mask_);
+    return e;
+  }
+
   FilterConfig cfg_;
   std::uint64_t index_mask_;
   std::uint64_t fprint_mask_;
+  std::uint64_t security_mask_;
+  unsigned security_shift_;
   MixHash hash1_;
   MixHash fprint_hash_;
   MixHash alt_hash_;
-  std::vector<FilterEntry> entries_;
+  std::vector<std::uint64_t> words_;
+  std::int64_t valid_count_ = 0;
 };
 
 }  // namespace pipo

@@ -20,7 +20,7 @@ bool CuckooFilter::insert(LineAddr x) {
   for (std::size_t bkt : {b1, b2}) {
     const std::size_t slot = array_.find_vacancy(bkt);
     if (slot != BucketArray::npos) {
-      array_.at(bkt, slot) = FilterEntry{true, fp, 0};
+      array_.set_entry(bkt, slot, FilterEntry{true, fp, 0});
       observer_->on_place(bkt, slot);
       return true;
     }
@@ -34,7 +34,7 @@ bool CuckooFilter::insert(LineAddr x) {
   std::uint32_t in_hand = fp;
   {
     const std::size_t victim_slot = rng_.below(config().b);
-    std::swap(in_hand, array_.at(bkt, victim_slot).fprint);
+    array_.swap_fprint(bkt, victim_slot, in_hand);
     observer_->on_swap(bkt, victim_slot);
   }
   for (std::uint32_t relocation = 0; relocation < config().mnk;
@@ -43,12 +43,12 @@ bool CuckooFilter::insert(LineAddr x) {
     bkt = array_.alt_bucket(bkt, in_hand);
     const std::size_t slot = array_.find_vacancy(bkt);
     if (slot != BucketArray::npos) {
-      array_.at(bkt, slot) = FilterEntry{true, in_hand, 0};
+      array_.set_entry(bkt, slot, FilterEntry{true, in_hand, 0});
       observer_->on_place(bkt, slot);
       return true;
     }
     const std::size_t victim_slot = rng_.below(config().b);
-    std::swap(in_hand, array_.at(bkt, victim_slot).fprint);
+    array_.swap_fprint(bkt, victim_slot, in_hand);
     observer_->on_swap(bkt, victim_slot);
   }
 
@@ -84,7 +84,7 @@ bool CuckooFilter::erase(LineAddr x) {
   for (std::size_t bkt : {b1, array_.alt_bucket(b1, fp)}) {
     const std::size_t slot = array_.find_in_bucket(bkt, fp);
     if (slot != BucketArray::npos) {
-      array_.at(bkt, slot) = FilterEntry{};
+      array_.clear_entry(bkt, slot);
       return true;
     }
   }

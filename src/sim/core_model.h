@@ -5,6 +5,12 @@
 // system studies — and it preserves what matters here: the dependence of
 // execution time on per-access latency, and cycle-accurate cross-core
 // interleaving of LLC traffic.
+//
+// Scheduling discipline: because the core is blocking, at most one event
+// of this core is ever in flight, so the pending request lives in a
+// member and every scheduled callback captures only `this` — well inside
+// the event queue's inline-callback buffer, making steady-state
+// simulation allocation-free.
 #pragma once
 
 #include <cstdint>
@@ -18,11 +24,21 @@ namespace pipo {
 
 class CoreModel {
  public:
-  CoreModel(CoreId id, System* system, EventQueue* queue, Workload* workload)
-      : id_(id), system_(system), queue_(queue), workload_(workload) {}
+  /// `running_cores`, when non-null, is decremented exactly once when
+  /// this core's workload finishes (the Simulation's O(1) liveness
+  /// counter).
+  CoreModel(CoreId id, System* system, EventQueue* queue, Workload* workload,
+            std::uint32_t* running_cores = nullptr)
+      : id_(id),
+        system_(system),
+        queue_(queue),
+        workload_(workload),
+        running_cores_(running_cores) {}
 
   /// Schedules the first instruction at `start`.
-  void start(Tick start_tick) { queue_->schedule(start_tick, [this] { step(); }); }
+  void start(Tick start_tick) {
+    queue_->schedule(start_tick, [this] { step(); });
+  }
 
   bool done() const { return done_; }
   Tick finish_tick() const { return finish_tick_; }
@@ -39,24 +55,29 @@ class CoreModel {
     if (!req) {
       done_ = true;
       finish_tick_ = queue_->now();
+      if (running_cores_) --*running_cores_;
       return;
     }
-    const Tick issue = queue_->now() + req->pre_delay;
-    queue_->schedule(issue, [this, r = *req] {
-      const Tick issued = queue_->now();
-      const System::AccessOutcome out =
-          system_->access(issued, id_, r.addr, r.type, r.bypass_private);
-      instructions_ += 1 + r.pre_delay;
-      ++mem_accesses_;
-      workload_->on_complete(r, issued, out.complete);
-      queue_->schedule(out.complete, [this] { step(); });
-    });
+    pending_ = *req;
+    queue_->schedule(queue_->now() + req->pre_delay, [this] { issue(); });
+  }
+
+  void issue() {
+    const Tick issued = queue_->now();
+    const System::AccessOutcome out = system_->access(
+        issued, id_, pending_.addr, pending_.type, pending_.bypass_private);
+    instructions_ += 1 + pending_.pre_delay;
+    ++mem_accesses_;
+    workload_->on_complete(pending_, issued, out.complete);
+    queue_->schedule(out.complete, [this] { step(); });
   }
 
   CoreId id_;
   System* system_;
   EventQueue* queue_;
   Workload* workload_;
+  std::uint32_t* running_cores_;
+  MemRequest pending_;  ///< request between its step() and issue() events
   bool done_ = false;
   Tick finish_tick_ = 0;
   std::uint64_t instructions_ = 0;

@@ -64,6 +64,10 @@ class Simulation {
   std::vector<std::unique_ptr<CoreModel>> cores_;
   Tick uncore_period_ = 64;
   Tick run_limit_ = 0;
+  /// Cores whose workload has not finished; maintained by the CoreModels
+  /// so the periodic uncore tick decides liveness in O(1) instead of
+  /// rescanning every core.
+  std::uint32_t running_cores_ = 0;
 };
 
 }  // namespace pipo

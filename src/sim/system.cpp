@@ -397,6 +397,16 @@ void System::reconcile_ric_orphans(LineAddr line, CoreId requester,
 std::string System::check_invariants() const {
   std::ostringstream err;
   const bool ric = cfg_.defense == DefenseKind::kRic;
+  // The packed lookup mirrors must agree with the CacheLine records
+  // before the protocol invariants below can be trusted.
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    for (const CacheArray* arr : {l1i_[c].get(), l1d_[c].get(), l2_[c].get()}) {
+      if (std::string m = arr->check_mirror(); !m.empty()) return m;
+    }
+  }
+  for (std::uint32_t s = 0; s < l3_->num_slices(); ++s) {
+    if (std::string m = l3_->slice(s).check_mirror(); !m.empty()) return m;
+  }
   for (CoreId c = 0; c < cfg_.num_cores; ++c) {
     for (const CacheArray* l1 : {l1i_[c].get(), l1d_[c].get()}) {
       for (std::size_t set = 0; set < l1->num_sets(); ++set) {

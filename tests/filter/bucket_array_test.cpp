@@ -54,11 +54,11 @@ TEST(BucketArray, FindInBucketAndVacancy) {
   BucketArray arr(small_config());
   EXPECT_EQ(arr.find_in_bucket(3, 0xAB), BucketArray::npos);
   EXPECT_EQ(arr.find_vacancy(3), 0u);
-  arr.at(3, 0) = FilterEntry{true, 0xAB, 1};
+  arr.set_entry(3, 0, FilterEntry{true, 0xAB, 1});
   EXPECT_EQ(arr.find_in_bucket(3, 0xAB), 0u);
   EXPECT_EQ(arr.find_vacancy(3), 1u);
   // Invalid entries with a matching fingerprint must not match.
-  arr.at(5, 2) = FilterEntry{false, 0xCD, 0};
+  arr.set_entry(5, 2, FilterEntry{false, 0xCD, 0});
   EXPECT_EQ(arr.find_in_bucket(5, 0xCD), BucketArray::npos);
 }
 
@@ -66,8 +66,8 @@ TEST(BucketArray, OccupancyCountsValidEntries) {
   BucketArray arr(small_config());
   EXPECT_DOUBLE_EQ(arr.occupancy(), 0.0);
   EXPECT_EQ(arr.valid_count(), 0u);
-  arr.at(0, 0).valid = true;
-  arr.at(1, 2).valid = true;
+  arr.set_entry(0, 0, FilterEntry{true, 0, 0});
+  arr.set_entry(1, 2, FilterEntry{true, 0, 0});
   EXPECT_EQ(arr.valid_count(), 2u);
   EXPECT_DOUBLE_EQ(arr.occupancy(), 2.0 / 64.0);
   arr.clear();
@@ -102,6 +102,61 @@ TEST(BucketArray, ForEachVisitsEveryEntry) {
     seen.insert({bkt, s});
   });
   EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(BucketArray, PackedFieldsRoundTrip) {
+  // All-ones field values must survive the bit-packed representation
+  // without bleeding into neighbouring fields.
+  BucketArray arr(small_config());  // f=8, counter_bits=2
+  arr.set_entry(2, 1, FilterEntry{true, 0xFF, 3});
+  const FilterEntry e = arr.entry(2, 1);
+  EXPECT_TRUE(e.valid);
+  EXPECT_EQ(e.fprint, 0xFFu);
+  EXPECT_EQ(e.security, 3u);
+  EXPECT_EQ(arr.security(2, 1), 3u);
+}
+
+TEST(BucketArray, SetSecurityLeavesFingerprintAndValid) {
+  BucketArray arr(small_config());
+  arr.set_entry(4, 3, FilterEntry{true, 0x5A, 0});
+  arr.set_security(4, 3, 2);
+  const FilterEntry e = arr.entry(4, 3);
+  EXPECT_TRUE(e.valid);
+  EXPECT_EQ(e.fprint, 0x5Au);
+  EXPECT_EQ(e.security, 2u);
+}
+
+TEST(BucketArray, SwapEntryExchangesBothDirections) {
+  BucketArray arr(small_config());
+  arr.set_entry(6, 0, FilterEntry{true, 0x11, 1});
+  FilterEntry hand{true, 0x22, 3};
+  arr.swap_entry(6, 0, hand);
+  EXPECT_EQ(hand.fprint, 0x11u);
+  EXPECT_EQ(hand.security, 1u);
+  EXPECT_EQ(arr.entry(6, 0).fprint, 0x22u);
+  EXPECT_EQ(arr.entry(6, 0).security, 3u);
+  EXPECT_EQ(arr.valid_count(), 1u);  // swap of two valid entries: unchanged
+}
+
+TEST(BucketArray, SwapFprintKeepsResidentSecurity) {
+  BucketArray arr(small_config());
+  arr.set_entry(7, 2, FilterEntry{true, 0x33, 2});
+  std::uint32_t fp = 0x44;
+  arr.swap_fprint(7, 2, fp);
+  EXPECT_EQ(fp, 0x33u);
+  EXPECT_EQ(arr.entry(7, 2).fprint, 0x44u);
+  EXPECT_EQ(arr.entry(7, 2).security, 2u);  // Security stays with the slot
+}
+
+TEST(BucketArray, ValidCountTracksOverwrites) {
+  BucketArray arr(small_config());
+  arr.set_entry(0, 0, FilterEntry{true, 1, 0});
+  arr.set_entry(0, 0, FilterEntry{true, 2, 0});  // overwrite: still one
+  EXPECT_EQ(arr.valid_count(), 1u);
+  arr.clear_entry(0, 0);
+  EXPECT_EQ(arr.valid_count(), 0u);
+  arr.clear_entry(0, 0);  // double-clear must not underflow
+  EXPECT_EQ(arr.valid_count(), 0u);
 }
 
 TEST(BucketArray, RejectsInvalidConfig) {

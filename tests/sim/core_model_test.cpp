@@ -85,6 +85,21 @@ TEST(CoreModel, RunHonorsMaxTicks) {
   EXPECT_LE(sim->queue().now(), 5200u);  // bounded promptly after limit
 }
 
+TEST(CoreModel, SecondRunAfterTickCapDiscardsStaleEvents) {
+  // A capped run leaves core step/issue events queued; a fresh run()
+  // must not dispatch them into the destroyed CoreModels.
+  auto sim = make_idle_sim(mini());
+  std::vector<MemRequest> trace(1000,
+                                MemRequest{0x1000, AccessType::kLoad, 100});
+  sim->set_workload(0, std::make_unique<TraceWorkload>(trace));
+  sim->run(5000);
+  EXPECT_FALSE(sim->core(0).done());
+  sim->set_workload(0, std::make_unique<IdleWorkload>());
+  const Tick finish = sim->run();  // all-idle second run completes cleanly
+  EXPECT_TRUE(sim->core(0).done());
+  EXPECT_GE(finish, 5000u);  // clock continues from the capped run
+}
+
 TEST(CoreModel, MissingWorkloadThrows) {
   Simulation sim(mini());
   sim.set_workload(0, std::make_unique<IdleWorkload>());
