@@ -1,0 +1,135 @@
+// Filter front-end hashing microbenchmark: the fused single-pass
+// candidate computation (BucketArray::candidates — interleaved dual
+// SplitMix64 + precomputed fprint->alt-bucket XOR table) vs. the seed's
+// three independent full MixHash passes per access, measured on the
+// differential oracle's own reference front-end
+// (tests/oracle/reference_filter.h) so baseline and specification are
+// one definition.
+//
+// Workloads:
+//  * triple — compute (fingerprint, bucket1, alt-bucket) for a stream of
+//    random line addresses (the per-access front-end of Fig 5);
+//  * access — end-to-end AutoCuckooFilter::access throughput at the
+//    paper's default geometry (absolute trajectory number; both hashing
+//    paths land in the same filter logic, so only the engine is timed).
+//
+// Human-readable by default; one JSON object with --json for
+// BENCH_engine.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include "filter/auto_cuckoo_filter.h"
+#include "filter/bucket_array.h"
+#include "filter/hash.h"
+#include "tests/oracle/reference_filter.h"
+
+namespace {
+
+using namespace pipo;
+
+/// The seed's three-pass front-end: the oracle reference composed into
+/// the same per-access triple the fused path produces.
+struct ThreePass {
+  explicit ThreePass(const FilterConfig& cfg) : ref(cfg) {}
+
+  BucketArray::Candidates operator()(LineAddr x) const {
+    const std::uint32_t fp = ref.fingerprint(x);
+    const std::size_t b1 = ref.bucket1(x);
+    return {fp, b1, ref.alt_bucket(b1, fp)};
+  }
+
+  oracle::ReferenceFilterHash ref;
+};
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+template <typename Fn>
+double triples_per_sec(Fn&& triple, std::uint64_t total,
+                       std::uint64_t& sink) {
+  std::uint64_t rng = 42;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const BucketArray::Candidates c = triple(splitmix(rng));
+    sink += c.fprint + c.b1 + c.b2;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(total) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
+double accesses_per_sec(const FilterConfig& cfg, std::uint64_t total,
+                        std::uint64_t& sink) {
+  AutoCuckooFilter filter(cfg);
+  const std::uint64_t universe =
+      static_cast<std::uint64_t>(cfg.l) * cfg.b * 2;
+  std::uint64_t rng = 7;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const AutoCuckooFilter::Response r =
+        filter.access(splitmix(rng) % universe);
+    sink += r.security;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(total) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  constexpr std::uint64_t kTriples = 50'000'000;
+  constexpr std::uint64_t kAccesses = 10'000'000;
+  constexpr int kReps = 3;
+
+  const FilterConfig cfg = FilterConfig::paper_default();  // l=1024 b=8 f=12
+  const ThreePass legacy(cfg);
+  const BucketArray array(cfg);
+
+  double legacy_tps = 0, engine_tps = 0, access_eps = 0;
+  std::uint64_t sink = 0;
+  for (int r = 0; r < kReps; ++r) {
+    const double l = triples_per_sec(
+        [&](LineAddr x) { return legacy(x); }, kTriples, sink);
+    const double e = triples_per_sec(
+        [&](LineAddr x) { return array.candidates(x); }, kTriples, sink);
+    const double a = accesses_per_sec(cfg, kAccesses, sink);
+    legacy_tps = legacy_tps >= l ? legacy_tps : l;
+    engine_tps = engine_tps >= e ? engine_tps : e;
+    access_eps = access_eps >= a ? access_eps : a;
+  }
+
+  if (json) {
+    std::printf(
+        "{\"bench\":\"micro_filter_hash\",\"triples\":%llu,"
+        "\"accesses\":%llu,"
+        "\"triple\":{\"legacy_tps\":%.0f,\"engine_tps\":%.0f,"
+        "\"speedup\":%.2f},"
+        "\"filter_access_eps\":%.0f,\"sink\":%llu}\n",
+        static_cast<unsigned long long>(kTriples),
+        static_cast<unsigned long long>(kAccesses), legacy_tps, engine_tps,
+        engine_tps / legacy_tps, access_eps,
+        static_cast<unsigned long long>(sink));
+    return 0;
+  }
+
+  std::printf("micro_filter_hash: %llu hash triples, %llu filter accesses "
+              "(l=%u b=%u f=%u)\n\n",
+              static_cast<unsigned long long>(kTriples),
+              static_cast<unsigned long long>(kAccesses), cfg.l, cfg.b,
+              cfg.f);
+  std::printf("%-28s %15s\n", "path", "per second");
+  std::printf("%-28s %15.2e\n", "triple  legacy 3-pass", legacy_tps);
+  std::printf("%-28s %15.2e %8.2fx\n", "triple  fused+table", engine_tps,
+              engine_tps / legacy_tps);
+  std::printf("%-28s %15.2e\n", "filter  access (engine)", access_eps);
+  return 0;
+}

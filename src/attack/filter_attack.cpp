@@ -155,9 +155,10 @@ EvictionCostResult targeted_attack(const FilterConfig& cfg,
     const auto pair_address = [&](std::size_t ba, std::size_t bb) {
       for (;;) {
         const LineAddr x = random_line(rng);
-        const std::size_t b1 = array.bucket1(x);
-        const std::size_t b2 = array.bucket2(x);
-        if ((b1 == ba && b2 == bb) || (b1 == bb && b2 == ba)) return x;
+        const BucketArray::Candidates c = array.candidates(x);
+        if ((c.b1 == ba && c.b2 == bb) || (c.b1 == bb && c.b2 == ba)) {
+          return x;
+        }
       }
     };
 
@@ -199,9 +200,7 @@ FalseDeletionResult false_deletion_attack(const FilterConfig& cfg,
   classic.insert(target);
 
   const auto& array = classic.array();
-  const std::uint32_t fp = array.fingerprint(target);
-  const std::size_t b1 = array.bucket1(target);
-  const std::size_t b2 = array.alt_bucket(b1, fp);
+  const auto [fp, b1, b2] = array.candidates(target);
 
   // Offline scan of attacker-controlled addresses for one aliasing the
   // target: same fingerprint, same candidate-bucket pair.

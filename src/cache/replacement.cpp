@@ -1,6 +1,7 @@
 #include "cache/replacement.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "common/bitutil.h"
 
@@ -33,6 +34,7 @@ std::unique_ptr<ReplacementPolicy> ReplacementPolicy::create(
 }
 
 namespace {
+
 std::uint32_t checked_pow2_ways(std::uint32_t ways) {
   // Validate before log2_exact: its debug assertion would fire first in
   // the member-initializer list and turn the contracted throw into abort.
@@ -41,7 +43,44 @@ std::uint32_t checked_pow2_ways(std::uint32_t ways) {
   }
   return ways;
 }
+
+/// The bitmask-summarized policies keep one bit per way in a 64-bit
+/// per-set word (CacheArray's packed-occupancy limit).
+std::uint32_t checked_mask_ways(std::uint32_t ways, const char* policy) {
+  if (ways == 0 || ways > 64) {
+    // Appends rather than operator+ chains: gcc 12's -Wrestrict trips a
+    // known false positive on the temporary-concatenation pattern.
+    std::string msg = policy;
+    msg += " requires 1..64 ways, got ";
+    msg += std::to_string(ways);
+    throw std::invalid_argument(msg);
+  }
+  return ways;
+}
+
 }  // namespace
+
+LruPolicy::LruPolicy(std::size_t sets, std::uint32_t ways)
+    : ways_(checked_mask_ways(ways, "LruPolicy")),
+      sets_(sets),
+      // Every way starts "oldest-looking" (the seed's stamp 0) and
+      // unlinked; the recency lists start empty.
+      zero_(sets, low_mask(ways)),
+      heads_(sets, kNil),
+      tails_(sets, kNil),
+      prev_(sets * ways, kNil),
+      next_(sets * ways, kNil) {}
+
+std::vector<std::uint64_t> LruPolicy::snapshot() const {
+  std::vector<std::uint64_t> s(sets_ * ways_, 0);
+  for (std::size_t set = 0; set < sets_; ++set) {
+    std::uint64_t rank = 1;
+    for (std::uint8_t w = heads_[set]; w != kNil; w = next_[set * ways_ + w]) {
+      s[set * ways_ + w] = rank++;
+    }
+  }
+  return s;
+}
 
 TreePlruPolicy::TreePlruPolicy(std::size_t sets, std::uint32_t ways)
     : ways_(checked_pow2_ways(ways)),
@@ -49,6 +88,7 @@ TreePlruPolicy::TreePlruPolicy(std::size_t sets, std::uint32_t ways)
       bits_(sets * (ways - 1), 0) {}
 
 void TreePlruPolicy::touch(std::size_t set, std::uint32_t way) {
+  if (ways_ == 1) return;  // no tree nodes: bits_ is empty
   // Walk from the root toward `way`, pointing every node AWAY from it.
   std::uint8_t* tree = &bits_[set * (ways_ - 1)];
   std::uint32_t node = 0;
@@ -60,6 +100,7 @@ void TreePlruPolicy::touch(std::size_t set, std::uint32_t way) {
 }
 
 std::uint32_t TreePlruPolicy::victim(std::size_t set) {
+  if (ways_ == 1) return 0;  // no tree nodes: bits_ is empty
   // Follow the pointers from the root; they indicate the PLRU leaf.
   const std::uint8_t* tree = &bits_[set * (ways_ - 1)];
   std::uint32_t node = 0;
@@ -70,6 +111,19 @@ std::uint32_t TreePlruPolicy::victim(std::size_t set) {
     node = 2 * node + 1 + bit;
   }
   return way;
+}
+
+std::vector<std::uint64_t> TreePlruPolicy::snapshot() const {
+  return std::vector<std::uint64_t>(bits_.begin(), bits_.end());
+}
+
+SrripPolicy::SrripPolicy(std::size_t sets, std::uint32_t ways)
+    : level_(sets * kLevels, 0) {
+  checked_mask_ways(ways, "SrripPolicy");
+  // Every way starts at RRPV = kMax (empty lines are immediate victims).
+  for (std::size_t set = 0; set < sets; ++set) {
+    level_[set * kLevels + kMax] = low_mask(ways);
+  }
 }
 
 }  // namespace pipo

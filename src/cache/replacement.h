@@ -10,12 +10,21 @@
 // selection. Way indices returned by victim() are always valid ways; the
 // caller is responsible for preferring invalid (free) ways before asking
 // for a victim.
+//
+// Every operation on every policy is O(1) (amortized O(1) for SRRIP's
+// aging, which shifts four per-set level masks instead of rewriting every
+// way). LRU and SRRIP store one bit per way in 64-bit set-level words —
+// the same packed-occupancy trick CacheArray uses — so both require
+// ways <= 64. Decision-for-decision equivalence with the seed's naive
+// O(ways)-scan implementations is enforced by the differential oracle
+// suite in tests/oracle/.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/bitutil.h"
 #include "common/rng.h"
 #include "cache/cache_config.h"
 
@@ -36,41 +45,86 @@ class ReplacementPolicy {
     (void)set; (void)way;
   }
 
+  /// Canonical serialization of the policy state, for the oracle layer's
+  /// serialize/replay equality checks: two instances of the same policy
+  /// with equal snapshots behave identically forever after. The encoding
+  /// is policy-specific (documented at each override); policies whose
+  /// decisions draw on hidden RNG state return {}.
+  virtual std::vector<std::uint64_t> snapshot() const { return {}; }
+
   static std::unique_ptr<ReplacementPolicy> create(ReplPolicy kind,
                                                    std::size_t sets,
                                                    std::uint32_t ways,
                                                    std::uint64_t seed);
 };
 
-/// True LRU via per-line monotonically increasing access stamps.
+/// True LRU with O(1) victim selection: a doubly-linked recency list per
+/// set (head = oldest, tail = most recent) plus a bitmask of ways that
+/// "look oldest" (never touched, or invalidated). The mask preserves the
+/// seed implementation's tie-breaking exactly: stamp-0 ways are all
+/// minimal, and the first-index scan picks the lowest such way — here
+/// the mask's lowest set bit.
 class LruPolicy final : public ReplacementPolicy {
  public:
-  LruPolicy(std::size_t sets, std::uint32_t ways)
-      : ways_(ways), stamp_(sets * ways, 0) {}
+  LruPolicy(std::size_t sets, std::uint32_t ways);
+
   void on_fill(std::size_t set, std::uint32_t way) override { touch(set, way); }
-  void on_access(std::size_t set, std::uint32_t way) override { touch(set, way); }
+  void on_access(std::size_t set, std::uint32_t way) override {
+    touch(set, way);
+  }
   std::uint32_t victim(std::size_t set) override {
-    std::uint32_t best = 0;
-    std::uint64_t best_stamp = stamp_[set * ways_];
-    for (std::uint32_t w = 1; w < ways_; ++w) {
-      if (stamp_[set * ways_ + w] < best_stamp) {
-        best_stamp = stamp_[set * ways_ + w];
-        best = w;
-      }
+    if (zero_[set]) {
+      return static_cast<std::uint32_t>(std::countr_zero(zero_[set]));
     }
-    return best;
+    return heads_[set];
   }
   void on_invalidate(std::size_t set, std::uint32_t way) override {
-    stamp_[set * ways_ + way] = 0;  // invalid lines look oldest
+    const std::uint64_t bit = std::uint64_t{1} << way;
+    if (zero_[set] & bit) return;  // already looks oldest
+    unlink(set, way);
+    zero_[set] |= bit;
   }
 
+  /// Encoding: sets*ways words; word (set, way) is 0 when the way looks
+  /// oldest, else 1 + its recency rank from the LRU end.
+  std::vector<std::uint64_t> snapshot() const override;
+
  private:
+  static constexpr std::uint8_t kNil = 0xFF;
+
   void touch(std::size_t set, std::uint32_t way) {
-    stamp_[set * ways_ + way] = ++clock_;
+    const std::uint64_t bit = std::uint64_t{1} << way;
+    if (zero_[set] & bit) {
+      zero_[set] &= ~bit;
+    } else if (tails_[set] == way) {
+      return;  // already most recent
+    } else {
+      unlink(set, way);
+    }
+    const std::size_t base = set * ways_;
+    prev_[base + way] = tails_[set];
+    next_[base + way] = kNil;
+    if (tails_[set] != kNil) next_[base + tails_[set]] = static_cast<std::uint8_t>(way);
+    tails_[set] = static_cast<std::uint8_t>(way);
+    if (heads_[set] == kNil) heads_[set] = static_cast<std::uint8_t>(way);
   }
+
+  /// Removes a LINKED way from its set's recency list.
+  void unlink(std::size_t set, std::uint32_t way) {
+    const std::size_t base = set * ways_;
+    const std::uint8_t p = prev_[base + way];
+    const std::uint8_t n = next_[base + way];
+    if (p != kNil) next_[base + p] = n; else heads_[set] = n;
+    if (n != kNil) prev_[base + n] = p; else tails_[set] = p;
+  }
+
   std::uint32_t ways_;
-  std::uint64_t clock_ = 0;
-  std::vector<std::uint64_t> stamp_;
+  std::size_t sets_;
+  std::vector<std::uint64_t> zero_;   ///< per-set mask of oldest-looking ways
+  std::vector<std::uint8_t> heads_;   ///< per-set LRU end (kNil = empty)
+  std::vector<std::uint8_t> tails_;   ///< per-set MRU end (kNil = empty)
+  std::vector<std::uint8_t> prev_;    ///< per-(set,way) list links
+  std::vector<std::uint8_t> next_;
 };
 
 /// Uniform-random victim selection.
@@ -91,12 +145,17 @@ class RandomPolicy final : public ReplacementPolicy {
 
 /// Tree pseudo-LRU (binary decision tree per set), the policy most
 /// commercial L1/L2 caches implement. Requires power-of-two ways.
+/// Already O(log2 ways) = O(1) for any realizable associativity.
 class TreePlruPolicy final : public ReplacementPolicy {
  public:
   TreePlruPolicy(std::size_t sets, std::uint32_t ways);
   void on_fill(std::size_t set, std::uint32_t way) override { touch(set, way); }
   void on_access(std::size_t set, std::uint32_t way) override { touch(set, way); }
   std::uint32_t victim(std::size_t set) override;
+
+  /// Encoding: one word per internal tree node (sets * (ways-1)), the
+  /// node's direction bit.
+  std::vector<std::uint64_t> snapshot() const override;
 
  private:
   void touch(std::size_t set, std::uint32_t way);
@@ -109,33 +168,69 @@ class TreePlruPolicy final : public ReplacementPolicy {
 /// Static RRIP (SRRIP-HP, Jaleel et al. ISCA'10) with 2-bit re-reference
 /// prediction values: insert at RRPV=2 (long), promote to 0 on hit, evict
 /// the first way with RRPV=3, aging all ways until one appears.
+///
+/// Representation: four per-set level masks, mask v = the ways whose RRPV
+/// is exactly v. A way's RRPV update moves one bit between masks; victim
+/// selection is the lowest set bit of mask kMax; and the seed's aging
+/// loop — +1 to every way, rescan, repeat — collapses to one shift of
+/// the four masks by d = kMax - (highest occupied level), because
+/// exactly the ways at that level are first to reach kMax. RRPVs can
+/// never leave [0, kMax] (the seed's unsaturated `++rrpv_` relied on
+/// aging being unreachable with a way already at kMax to stay bounded);
+/// state is canonical by construction.
 class SrripPolicy final : public ReplacementPolicy {
  public:
-  SrripPolicy(std::size_t sets, std::uint32_t ways)
-      : ways_(ways), rrpv_(sets * ways, kMax) {}
+  SrripPolicy(std::size_t sets, std::uint32_t ways);
+
   void on_fill(std::size_t set, std::uint32_t way) override {
-    rrpv_[set * ways_ + way] = kLong;
+    move_to(set, way, kLong);
   }
   void on_access(std::size_t set, std::uint32_t way) override {
-    rrpv_[set * ways_ + way] = 0;
+    move_to(set, way, 0);
   }
   std::uint32_t victim(std::size_t set) override {
-    for (;;) {
-      for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (rrpv_[set * ways_ + w] >= kMax) return w;
+    std::uint64_t* lv = &level_[set * kLevels];
+    if (!lv[kMax]) {
+      // Age the set: shift every level up by the distance from the
+      // highest occupied level to kMax. The masks partition the ways,
+      // so an occupied level below kMax exists whenever kMax is empty.
+      unsigned v = kMax - 1;
+      while (!lv[v]) --v;
+      const unsigned d = kMax - v;
+      for (unsigned i = kLevels; i-- > 0;) {
+        lv[i] = i >= d ? lv[i - d] : 0;
       }
-      for (std::uint32_t w = 0; w < ways_; ++w) ++rrpv_[set * ways_ + w];
     }
+    return static_cast<std::uint32_t>(std::countr_zero(lv[kMax]));
   }
   void on_invalidate(std::size_t set, std::uint32_t way) override {
-    rrpv_[set * ways_ + way] = kMax;
+    move_to(set, way, kMax);
   }
+
+  /// Encoding: kLevels (= 4) words per set; word (set, v) is the bitmask
+  /// of ways whose RRPV is exactly v. The four masks of a set always
+  /// partition its ways.
+  std::vector<std::uint64_t> snapshot() const override { return level_; }
 
  private:
   static constexpr std::uint8_t kMax = 3;
   static constexpr std::uint8_t kLong = 2;
-  std::uint32_t ways_;
-  std::vector<std::uint8_t> rrpv_;
+  static constexpr unsigned kLevels = kMax + 1;
+
+  void move_to(std::size_t set, std::uint32_t way, unsigned level) {
+    // Branchless: clear the way's bit from every level (it is set in
+    // exactly one — one 32-byte cache line of straight-line RMWs beats
+    // a search with an unpredictable exit level), then set the target.
+    std::uint64_t* lv = &level_[set * kLevels];
+    const std::uint64_t keep = ~(std::uint64_t{1} << way);
+    lv[0] &= keep;
+    lv[1] &= keep;
+    lv[2] &= keep;
+    lv[3] &= keep;
+    lv[level] |= ~keep;
+  }
+
+  std::vector<std::uint64_t> level_;  ///< kLevels masks per set
 };
 
 }  // namespace pipo

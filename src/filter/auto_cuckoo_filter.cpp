@@ -7,9 +7,7 @@ namespace pipo {
 
 AutoCuckooFilter::Response AutoCuckooFilter::access(LineAddr x) {
   ++accesses_;
-  const std::uint32_t fp = array_.fingerprint(x);
-  const std::size_t b1 = array_.bucket1(x);
-  const std::size_t b2 = array_.alt_bucket(b1, fp);
+  const auto [fp, b1, b2] = array_.candidates(x);
 
   // Query: check both candidate buckets for a valid matching fingerprint.
   for (std::size_t bkt : {b1, b2}) {
@@ -86,17 +84,14 @@ void AutoCuckooFilter::insert_new(LineAddr x, std::uint32_t fp,
 }
 
 bool AutoCuckooFilter::contains(LineAddr x) const {
-  const std::uint32_t fp = array_.fingerprint(x);
-  const std::size_t b1 = array_.bucket1(x);
+  const auto [fp, b1, b2] = array_.candidates(x);
   if (array_.find_in_bucket(b1, fp) != BucketArray::npos) return true;
-  const std::size_t b2 = array_.alt_bucket(b1, fp);
   return array_.find_in_bucket(b2, fp) != BucketArray::npos;
 }
 
 std::optional<std::uint32_t> AutoCuckooFilter::security_of(LineAddr x) const {
-  const std::uint32_t fp = array_.fingerprint(x);
-  const std::size_t b1 = array_.bucket1(x);
-  for (std::size_t bkt : {b1, array_.alt_bucket(b1, fp)}) {
+  const auto [fp, b1, b2] = array_.candidates(x);
+  for (std::size_t bkt : {b1, b2}) {
     const std::size_t slot = array_.find_in_bucket(bkt, fp);
     if (slot != BucketArray::npos) return array_.security(bkt, slot);
   }

@@ -51,6 +51,17 @@ class BucketArray {
         alt_hash_(cfg.hash_seed ^ 0xD6E8FEB86659FD93ull),
         words_(static_cast<std::size_t>(cfg.l) * cfg.b, 0) {
     cfg.validate();
+    // For small fingerprint widths, precompute the alternate-bucket XOR
+    // offset hash(fp) mod l for EVERY fingerprint: the third hash module
+    // of Fig 5 becomes a table lookup (16 KiB at the paper's f=12, l
+    // always <= 2^32 so entries fit in 32 bits). Wider fingerprints fall
+    // back to computing the mix on the fly.
+    if (cfg.f <= kAltTableMaxF) {
+      alt_xor_.resize(std::size_t{1} << cfg.f);
+      for (std::size_t fp = 0; fp < alt_xor_.size(); ++fp) {
+        alt_xor_[fp] = static_cast<std::uint32_t>(alt_hash_(fp) & index_mask_);
+      }
+    }
   }
 
   const FilterConfig& config() const { return cfg_; }
@@ -68,8 +79,32 @@ class BucketArray {
   /// Alternate bucket for a fingerprint currently stored in `bucket`
   /// (partial-key cuckoo hashing; an involution by XOR construction).
   std::size_t alt_bucket(std::size_t bucket, std::uint32_t fprint) const {
+    if (!alt_xor_.empty()) {
+      return (bucket ^ alt_xor_[fprint & fprint_mask_]) & index_mask_;
+    }
     return static_cast<std::size_t>(
-        (bucket ^ alt_hash_(fprint)) & index_mask_);
+        (bucket ^ alt_hash_(fprint & fprint_mask_)) & index_mask_);
+  }
+
+  /// The full per-access hash triple — fingerprint and both candidate
+  /// buckets (the paper's xi_x, mu_x, sigma_x).
+  struct Candidates {
+    std::uint32_t fprint = 0;
+    std::size_t b1 = 0;
+    std::size_t b2 = 0;
+  };
+
+  /// Computes the triple in a single fused pass: one interleaved dual
+  /// mix for Hash1 + fPrintHash, and the precomputed XOR table (or one
+  /// more mix for wide fingerprints) for the alternate bucket — instead
+  /// of the seed's three independent full MixHash passes per access.
+  /// Bit-identical to {fingerprint(x), bucket1(x), bucket2(x)}; the
+  /// hash-equivalence oracle in tests/oracle/ enforces it.
+  Candidates candidates(LineAddr x) const {
+    const HashPair h = mix2(x, hash1_.seed(), fprint_hash_.seed());
+    const auto fp = static_cast<std::uint32_t>(h.b & fprint_mask_);
+    const auto b1 = static_cast<std::size_t>(h.a & index_mask_);
+    return Candidates{fp, b1, alt_bucket(b1, fp)};
   }
 
   /// Second candidate bucket (the paper's sigma_x).
@@ -202,9 +237,14 @@ class BucketArray {
   std::uint64_t fprint_mask_;
   std::uint64_t security_mask_;
   unsigned security_shift_;
+  /// Widest fingerprint whose alternate-bucket hash is fully tabulated
+  /// (2^16 * 4 B = 256 KiB worst case; the paper's f=12 needs 16 KiB).
+  static constexpr std::uint32_t kAltTableMaxF = 16;
+
   MixHash hash1_;
   MixHash fprint_hash_;
   MixHash alt_hash_;
+  std::vector<std::uint32_t> alt_xor_;  ///< fp -> alt_hash_(fp) & index_mask_
   std::vector<std::uint64_t> words_;
   std::int64_t valid_count_ = 0;
 };

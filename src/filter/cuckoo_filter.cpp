@@ -11,9 +11,7 @@ bool CuckooFilter::insert(LineAddr x) {
     return false;
   }
 
-  const std::uint32_t fp = array_.fingerprint(x);
-  const std::size_t b1 = array_.bucket1(x);
-  const std::size_t b2 = array_.alt_bucket(b1, fp);
+  const auto [fp, b1, b2] = array_.candidates(x);
   observer_->on_insert_start(x);
 
   // Fast path: a vacancy in either candidate bucket.
@@ -70,18 +68,15 @@ bool CuckooFilter::stash_matches(LineAddr x) const {
 }
 
 bool CuckooFilter::contains(LineAddr x) const {
-  const std::uint32_t fp = array_.fingerprint(x);
-  const std::size_t b1 = array_.bucket1(x);
+  const auto [fp, b1, b2] = array_.candidates(x);
   if (array_.find_in_bucket(b1, fp) != BucketArray::npos) return true;
-  const std::size_t b2 = array_.alt_bucket(b1, fp);
   if (array_.find_in_bucket(b2, fp) != BucketArray::npos) return true;
   return stash_matches(x);
 }
 
 bool CuckooFilter::erase(LineAddr x) {
-  const std::uint32_t fp = array_.fingerprint(x);
-  const std::size_t b1 = array_.bucket1(x);
-  for (std::size_t bkt : {b1, array_.alt_bucket(b1, fp)}) {
+  const auto [fp, b1, b2] = array_.candidates(x);
+  for (std::size_t bkt : {b1, b2}) {
     const std::size_t slot = array_.find_in_bucket(bkt, fp);
     if (slot != BucketArray::npos) {
       array_.clear_entry(bkt, slot);

@@ -40,6 +40,28 @@ class MixHash {
   std::uint64_t seed_;
 };
 
+/// Two hash values computed by one fused pass.
+struct HashPair {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Both filter front-end MixHash streams over one key in a single fused
+/// pass: the two SplitMix64 finalizer chains are interleaved so their
+/// multiplies overlap in the pipeline instead of running back-to-back as
+/// two full MixHash calls. Bit-identical to MixHash(seed_a)(x) /
+/// MixHash(seed_b)(x) — the hash-equivalence oracle enforces it.
+inline HashPair mix2(std::uint64_t x, std::uint64_t seed_a,
+                     std::uint64_t seed_b) {
+  std::uint64_t za = x + seed_a + 0x9E3779B97F4A7C15ull;
+  std::uint64_t zb = x + seed_b + 0x9E3779B97F4A7C15ull;
+  za = (za ^ (za >> 30)) * 0xBF58476D1CE4E5B9ull;
+  zb = (zb ^ (zb >> 30)) * 0xBF58476D1CE4E5B9ull;
+  za = (za ^ (za >> 27)) * 0x94D049BB133111EBull;
+  zb = (zb ^ (zb >> 27)) * 0x94D049BB133111EBull;
+  return HashPair{za ^ (za >> 31), zb ^ (zb >> 31)};
+}
+
 /// H3 tabulation hashing over the 8 bytes of a 64-bit key:
 /// h(x) = T0[x&0xff] ^ T1[(x>>8)&0xff] ^ ... ^ T7[(x>>56)&0xff].
 /// Each table holds 256 random 64-bit words derived from the seed.
@@ -62,6 +84,39 @@ class TabulationHash {
 
  private:
   std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+/// Two tabulation hashes fused into one pass: the per-byte tables of both
+/// seeds are interleaved ({T_a[i][v], T_b[i][v]} adjacent), so one walk
+/// over the key's 8 bytes feeds both XOR trees from the same cache lines
+/// instead of two full TabulationHash passes over disjoint tables.
+/// Bit-identical to TabulationHash(seed_a)(x) / TabulationHash(seed_b)(x).
+/// Like TabulationHash itself, this family is test support (the
+/// hash-equivalence oracle shows the fusion trick is hash-agnostic); the
+/// production filter path is MixHash-based via BucketArray::candidates.
+class DualTabulationHash {
+ public:
+  DualTabulationHash(std::uint64_t seed_a, std::uint64_t seed_b) {
+    // Reproduce each seed's table stream exactly as TabulationHash draws
+    // it, then interleave.
+    Rng rng_a(seed_a), rng_b(seed_b);
+    for (auto& table : tables_) {
+      for (auto& pair : table) pair = {rng_a.next(), rng_b.next()};
+    }
+  }
+
+  HashPair operator()(std::uint64_t x) const {
+    std::uint64_t ha = 0, hb = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      const auto& [wa, wb] = tables_[i][(x >> (8 * i)) & 0xFF];
+      ha ^= wa;
+      hb ^= wb;
+    }
+    return HashPair{ha, hb};
+  }
+
+ private:
+  std::array<std::array<std::array<std::uint64_t, 2>, 256>, 8> tables_;
 };
 
 }  // namespace pipo
