@@ -6,7 +6,10 @@
 //  * chains — N self-rescheduling events (the simulator's steady state:
 //    one pending step/issue event per core);
 //  * churn  — a deep queue of independent one-shot events at scattered
-//    ticks (prefetch-drain storms, attack schedules).
+//    ticks (prefetch-drain storms, attack schedules);
+//  * deep   — churn with deltas up to 64k ticks, pushing events through
+//    every calendar wheel level (the prefetch-heavy defense shape the
+//    two-tier queue exists for).
 //
 // Reports events/sec and heap allocations per event (via a counting
 // global operator new), human-readable by default, one JSON object with
@@ -178,8 +181,10 @@ Measurement chains(unsigned num_chains, std::uint64_t total) {
 }
 
 /// Deep-queue churn: `depth` pending one-shot events; every pop pushes a
-/// replacement until `total` events ran.
-template <typename Queue>
+/// replacement until `total` events ran. `MASK` bounds the reschedule
+/// delta: 1023 is the classic churn shape, 65535 (deep) spreads events
+/// across every wheel level of the calendar tier.
+template <typename Queue, unsigned MASK = 1023>
 Measurement churn(std::size_t depth, std::uint64_t total) {
   Queue q;
   std::uint64_t remaining = total;
@@ -192,12 +197,12 @@ Measurement churn(std::size_t depth, std::uint64_t total) {
     void operator()() const {
       if (*remaining == 0) return;
       --*remaining;
-      q->schedule_in(1 + (splitmix(*rng) & 1023), Shot{q, remaining, rng});
+      q->schedule_in(1 + (splitmix(*rng) & MASK), Shot{q, remaining, rng});
     }
   };
 
   for (std::size_t i = 0; i < depth; ++i) {
-    q.schedule(splitmix(rng) & 1023, Shot{&q, &remaining, &rng});
+    q.schedule(splitmix(rng) & MASK, Shot{&q, &remaining, &rng});
   }
   for (int i = 0; i < 4096; ++i) q.run_one();
 
@@ -229,12 +234,17 @@ int main(int argc, char** argv) {
   auto best = [](Measurement a, Measurement b) {
     return a.events_per_sec >= b.events_per_sec ? a : b;
   };
-  Measurement legacy_chain, engine_chain, legacy_churn, engine_churn;
+  Measurement legacy_chain, engine_chain, legacy_churn, engine_churn,
+      legacy_deep, engine_deep;
   for (int r = 0; r < kReps; ++r) {
     legacy_chain = best(legacy_chain, chains<LegacyEventQueue>(4, kTotal));
     engine_chain = best(engine_chain, chains<pipo::EventQueue>(4, kTotal));
     legacy_churn = best(legacy_churn, churn<LegacyEventQueue>(4096, kTotal));
     engine_churn = best(engine_churn, churn<pipo::EventQueue>(4096, kTotal));
+    legacy_deep = best(legacy_deep,
+                       churn<LegacyEventQueue, 65535>(4096, kTotal));
+    engine_deep = best(engine_deep,
+                       churn<pipo::EventQueue, 65535>(4096, kTotal));
   }
 
   if (json) {
@@ -245,6 +255,9 @@ int main(int argc, char** argv) {
         "\"engine_allocs_per_event\":%.3f},"
         "\"churn\":{\"legacy_eps\":%.0f,\"engine_eps\":%.0f,"
         "\"speedup\":%.2f,\"legacy_allocs_per_event\":%.3f,"
+        "\"engine_allocs_per_event\":%.3f},"
+        "\"deep\":{\"legacy_eps\":%.0f,\"engine_eps\":%.0f,"
+        "\"speedup\":%.2f,\"legacy_allocs_per_event\":%.3f,"
         "\"engine_allocs_per_event\":%.3f}}\n",
         static_cast<unsigned long long>(kTotal), legacy_chain.events_per_sec,
         engine_chain.events_per_sec,
@@ -252,7 +265,10 @@ int main(int argc, char** argv) {
         legacy_chain.allocs_per_event, engine_chain.allocs_per_event,
         legacy_churn.events_per_sec, engine_churn.events_per_sec,
         engine_churn.events_per_sec / legacy_churn.events_per_sec,
-        legacy_churn.allocs_per_event, engine_churn.allocs_per_event);
+        legacy_churn.allocs_per_event, engine_churn.allocs_per_event,
+        legacy_deep.events_per_sec, engine_deep.events_per_sec,
+        engine_deep.events_per_sec / legacy_deep.events_per_sec,
+        legacy_deep.allocs_per_event, engine_deep.allocs_per_event);
     return 0;
   }
 
@@ -270,5 +286,10 @@ int main(int argc, char** argv) {
   std::printf("%-22s %15.2e %15.3f %8.2fx\n", "churn   engine",
               engine_churn.events_per_sec, engine_churn.allocs_per_event,
               engine_churn.events_per_sec / legacy_churn.events_per_sec);
+  std::printf("%-22s %15.2e %15.3f %9s\n", "deep    legacy",
+              legacy_deep.events_per_sec, legacy_deep.allocs_per_event, "");
+  std::printf("%-22s %15.2e %15.3f %8.2fx\n", "deep    engine",
+              engine_deep.events_per_sec, engine_deep.allocs_per_event,
+              engine_deep.events_per_sec / legacy_deep.events_per_sec);
   return 0;
 }

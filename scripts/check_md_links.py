@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's Markdown files.
+
+Scans every tracked *.md (skipping build trees) for inline Markdown
+links and images, and verifies that relative targets exist on disk.
+External schemes (http/https/mailto) and pure in-page anchors are
+skipped; a `path#anchor` target is checked for the path only. Exits
+non-zero listing every dead link, so CI can gate on documentation rot.
+
+Usage: scripts/check_md_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-asan", "build_asan", ".claude"}
+# Inline links/images: [text](target) — stops at the first unescaped ')'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    dead = []
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                if rel.startswith("/"):
+                    resolved = os.path.join(root, rel.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), rel)
+                if not os.path.exists(resolved):
+                    dead.append((lineno, target))
+    return dead
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = 0
+    checked = 0
+    for path in sorted(md_files(root)):
+        checked += 1
+        for lineno, target in check_file(path, root):
+            rel_path = os.path.relpath(path, root)
+            print(f"DEAD LINK {rel_path}:{lineno}: {target}")
+            failures += 1
+    if failures:
+        print(f"checked {checked} markdown files: {failures} dead link(s)")
+    else:
+        print(f"checked {checked} markdown files: all relative links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,17 @@
 // Top-level simulation driver: owns the event queue, the System and one
 // CoreModel per core, runs them to completion and reports per-core and
 // whole-run results. The gem5 `Simulation` object of this reproduction.
+//
+// Ownership: the Simulation owns everything it drives — the System (and
+// through it the cache/filter/defense state), the EventQueue, the
+// CoreModels it builds per run(), and the Workloads handed over via
+// set_workload(). Workload pointers passed to CoreModels stay valid for
+// the lifetime of the Simulation; CoreModels are torn down and rebuilt
+// at the start of every run().
+//
+// Tick semantics: one tick is one core cycle. The queue's clock is
+// monotone and shared by every component; it survives across runs (a
+// second run() continues from the tick where the first stopped).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +45,16 @@ class Simulation {
   /// Runs until every core's workload finishes or `max_ticks` elapses.
   /// Returns the tick at which the last core finished (= overall
   /// execution time, the metric of Fig 8(a)).
+  ///
+  /// Restartable: any events left over from a previous tick-capped run
+  /// are cleared (across both queue tiers) before the cores are rebuilt,
+  /// so stale callbacks can never fire into dead CoreModels. The drive
+  /// loop is EventQueue::run_active(max_ticks): the event that crosses
+  /// the cap still executes (a started access completes), and run_until
+  /// style clamping never applies here — see event_queue.h for the
+  /// clamp's precondition (time advances to a horizon only when it was
+  /// actually simulated: the queue drained or the next event lies
+  /// beyond it).
   Tick run(Tick max_ticks = ~Tick{0});
 
   System& system() { return system_; }

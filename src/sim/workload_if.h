@@ -1,6 +1,18 @@
 // The contract between a simulated core and whatever drives it — a
 // synthetic SPEC-like generator, a replayed trace, the Prime+Probe
 // attacker or the square-and-multiply victim.
+//
+// Ownership and lifetime: Workloads are owned by the Simulation (handed
+// over through Simulation::set_workload) and outlive every CoreModel
+// that drives them; a CoreModel only borrows the pointer. One Workload
+// instance drives exactly one core and is called from that core's event
+// callbacks only — never concurrently (the engine is single-threaded by
+// design; parallel sweeps run one Simulation per thread).
+//
+// Tick semantics: `now` arguments and the issued/completed pair are
+// absolute ticks of the shared simulation clock (one tick = one core
+// cycle). A workload that finished (returned nullopt) is never asked
+// again within the same run.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +49,10 @@ class Workload {
 
   /// Completion callback with the measured latency — this is the
   /// attacker's timing channel (rdtscp around the probe access).
+  /// `issued` is the tick the access entered the memory system and
+  /// `completed` the tick its response arrived; both are absolute.
+  /// Called before the next() that follows the request, on the same
+  /// core, in program order.
   virtual void on_complete(const MemRequest& req, Tick issued,
                            Tick completed) {
     (void)req; (void)issued; (void)completed;

@@ -237,5 +237,174 @@ TEST(EventQueue, ScheduleInIsRelative) {
   EXPECT_EQ(seen, 75u);
 }
 
+// ---------------------------------------------------------------------
+// Calendar-tier edge cases: the two-tier queue routes events at least
+// kHorizon ticks ahead into bucketed wheels (see event_queue.h); these
+// tests pin the seams between the tiers.
+
+TEST(EventQueue, HorizonBoundaryRoutesBothTiersInOrder) {
+  // now + kHorizon - 1 is the last heap-resident tick, now + kHorizon
+  // the first calendar-eligible one; straddling the boundary must not
+  // disturb dispatch order or the pending count.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(EventQueue::kHorizon, [&] { order.push_back(1); });      // far
+  q.schedule(EventQueue::kHorizon - 1, [&] { order.push_back(0); });  // near
+  q.schedule(EventQueue::kHorizon + 1, [&] { order.push_back(2); });  // far
+  EXPECT_EQ(q.pending(), 3u);
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.now(), EventQueue::kHorizon + 1);
+}
+
+TEST(EventQueue, SameTickFifoAcrossTheHorizonBoundary) {
+  // Two events on one tick, scheduled from opposite tiers: the first
+  // was far-future (calendar) when scheduled, the second near (heap)
+  // after the clock advanced. Insertion order must win the tie.
+  EventQueue q;
+  std::vector<int> order;
+  const Tick target = 10 * EventQueue::kHorizon;
+  q.schedule(target, [&] { order.push_back(0); });  // calendar resident
+  q.schedule(target - 2, [&] {
+    q.schedule(target, [&] { order.push_back(1); });  // near tier now
+  });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, ClearDiscardsCalendarResidentEvents) {
+  // Cancellation must reach every tier: heap, wheels at each level, and
+  // the far list — destroying boxed payloads and recycling their pool
+  // slots so the queue stays usable.
+  EventQueue q;
+  int fired = 0;
+  auto big = std::make_shared<int>(7);  // boxed path: non-trivial capture
+  q.schedule(5, [&] { ++fired; });                          // heap
+  q.schedule(EventQueue::kHorizon + 3, [&] { ++fired; });   // wheel 0/1
+  q.schedule(100'000, [&fired, big] { fired += *big; });    // deep wheel
+  q.schedule(Tick{1} << 40, [&] { ++fired; });              // far list
+  EXPECT_EQ(q.pending(), 4u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(big.use_count(), 1) << "boxed calendar payload not destroyed";
+  q.run_all();
+  EXPECT_EQ(fired, 0);
+  // The queue stays usable, including the calendar tier.
+  q.schedule_in(EventQueue::kHorizon + 1, [&] { ++fired; });
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunUntilLandsInsideABucket) {
+  // A limit that falls between two events sharing one calendar bucket:
+  // the earlier one runs, the later one stays pending, and the clock
+  // parks exactly at the limit.
+  EventQueue q;
+  int fired = 0;
+  const Tick base = 1000;  // deep enough that both events take a wheel
+  q.schedule(base, [&] { ++fired; });
+  q.schedule(base + 1, [&] { ++fired; });  // same width-2 level-0 bucket
+  EXPECT_EQ(q.run_until(base), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), base);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), base + 1);
+}
+
+TEST(EventQueue, RunUntilClampWithOnlyCalendarPending) {
+  // The PR-1 clamp precondition across tiers: with the next event
+  // calendar-resident beyond the limit, time parks at the limit and the
+  // event survives untouched.
+  EventQueue q;
+  int fired = 0;
+  q.schedule(50'000, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(400), 0u);
+  EXPECT_EQ(q.now(), 400u);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(fired, 0);
+  // Relative scheduling after the clamp is based on the clamped clock.
+  q.schedule_in(5, [&] { ++fired; });
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 50'000u);
+}
+
+TEST(EventQueue, NextTickSeesCalendarResidentEvents) {
+  EventQueue q;
+  q.schedule(123'456, [] {});
+  EXPECT_EQ(q.next_tick(), 123'456u);  // may spill wheels to answer
+  EXPECT_EQ(q.pending(), 1u);          // but must not lose the event
+  q.schedule(10, [] {});
+  EXPECT_EQ(q.next_tick(), 10u);
+}
+
+TEST(EventQueue, FarCeilingTicksStayOrdered) {
+  // Ticks near 2^64 can't anchor a calendar window without overflowing;
+  // the queue must fall back to the heap and still order them.
+  EventQueue q;
+  std::vector<int> order;
+  const Tick huge = ~Tick{0} - 5;
+  q.schedule(huge, [&] { order.push_back(1); });
+  q.schedule(huge - 1, [&] { order.push_back(0); });
+  q.schedule(40, [&] { order.push_back(-1); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1}));
+  EXPECT_EQ(q.now(), huge);
+}
+
+TEST(EventQueue, DeepStressPreservesTickThenFifoOrder) {
+  // The deep-horizon twin of HeapStressPreservesTickThenFifoOrder:
+  // pseudo-random ticks spanning every wheel level and the far list,
+  // with same-tick collisions, must drain in (tick, insertion seq)
+  // order.
+  EventQueue q;
+  struct Fired {
+    Tick when;
+    int seq;
+  };
+  std::vector<Fired> fired;
+  std::uint64_t state = 0x243F6A8885A308D3ull;
+  std::vector<std::pair<Tick, int>> scheduled;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    // Magnitudes from sub-horizon to beyond the level-2 window, dense
+    // enough to force collisions at every scale.
+    const unsigned shift = (state >> 59) & 31;
+    const Tick when = (state >> 33) % ((Tick{1} << (shift % 21)) + 97);
+    scheduled.push_back({when, i});
+    q.schedule(when, [&q, &fired, i] {
+      fired.push_back(Fired{q.now(), i});
+    });
+  }
+  q.run_all();
+  ASSERT_EQ(fired.size(), scheduled.size());
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i].when, scheduled[i].first);
+    EXPECT_EQ(fired[i].seq, scheduled[i].second);
+  }
+}
+
+TEST(EventQueue, ClearFromCallbackWithCalendarResidents) {
+  // A mid-dispatch clear() while events sit in the wheels: the in-flight
+  // slot must not be double-freed and deep rescheduling must work from
+  // inside the callback.
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(10, [&] {
+    q.clear();
+    for (int i = 0; i < 4; ++i) {
+      q.schedule_in(500 + i, [&fired, i] { fired.push_back(i); });
+    }
+  });
+  q.schedule(90'000, [&fired] { fired.push_back(99); });  // wheel resident
+  q.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace pipo
