@@ -1,0 +1,150 @@
+// Epoch-shard engine microbenchmark: whole-Simulation runs, serial
+// engine vs the sharded engine at 1 and 2 shard threads
+// (sim/shard_engine.h).
+//
+// Two whole-simulator shapes bracketing the engine's exposure:
+//  * hitloop — private-cache-resident working set (the L1-hit fast path:
+//    the shard routing branch and publish are pure overhead here, so
+//    this shape measures the 1-thread overhead bound);
+//  * churn   — LLC-thrashing working set under PiPoMonitor (miss-heavy:
+//    every miss runs the monitor's filter pass, the work the shard
+//    workers precompute).
+//
+// Every variant's final System::Stats must be byte-identical to the
+// serial run — the bench aborts otherwise (a cheap standing instance of
+// the tests/oracle/ parallel-equivalence proof). Reports simulated
+// ticks/sec, the sharded engine's hint hit rate, and the overhead (or
+// speedup) vs serial; one JSON object with --json for BENCH_engine.json
+// trajectories. On a single-hardware-thread host the shard workers
+// timeshare with the driver, so shard>=1 rows measure engine overhead,
+// not parallel speedup — re-record on multi-core hardware.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/perf_experiment.h"
+#include "sim/simulation.h"
+#include "workload/mixes.h"
+
+namespace {
+
+using namespace pipo;
+
+struct Shape {
+  const char* name;
+  unsigned mix;             ///< Table III mix driving the cores
+  std::uint64_t ws_div;     ///< working-set divisor (bigger = hotter)
+  std::uint64_t instructions;
+};
+
+struct RunOutcome {
+  Tick exec_time = 0;
+  double wall_s = 0;
+  System::Stats stats;
+  double hint_rate = -1.0;  ///< sharded runs only
+};
+
+RunOutcome run_shape(const Shape& shape, std::uint32_t shard_threads) {
+  SystemConfig cfg = SystemConfig::paper_default();  // PiPoMonitor active
+  cfg.shard_threads = shard_threads;
+  Simulation sim(cfg);
+  auto workloads = make_mix(shape.mix, shape.instructions, 42, shape.ws_div);
+  for (CoreId c = 0; c < cfg.num_cores && c < workloads.size(); ++c) {
+    sim.set_workload(c, std::move(workloads[c]));
+  }
+  RunOutcome r;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.exec_time = sim.run();
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+  r.stats = sim.system().stats();
+  if (sim.system().sharded()) {
+    const auto& es = sim.system().shard_stats();
+    const std::uint64_t taken = es.hints_used + es.hints_missed;
+    r.hint_rate = taken ? static_cast<double>(es.hints_used) /
+                              static_cast<double>(taken)
+                        : 0.0;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const Shape shapes[] = {
+      // Hot working set (ws/256): mostly private-cache hits — the shard
+      // routing branch and publish path are pure overhead here.
+      {"hitloop", 1, 256, 250'000},
+      // Full-pressure working set: LLC misses drive the monitor filter
+      // on every miss — the work the shard workers precompute.
+      {"churn", 8, 4, 250'000},
+  };
+  const std::uint32_t variants[] = {0, 1, 2};
+  constexpr int kReps = 3;
+
+  if (json) std::printf("{\"micro_shard\": {");
+  bool first_shape = true;
+  for (const Shape& shape : shapes) {
+    RunOutcome best[3];
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+      for (int rep = 0; rep < kReps; ++rep) {
+        const RunOutcome r = run_shape(shape, variants[v]);
+        if (rep == 0 || r.wall_s < best[v].wall_s) best[v] = r;
+        // Parallel-equivalence check against the serial run: simulated
+        // results must not depend on the execution strategy.
+        if (v > 0 &&
+            (std::memcmp(&r.stats, &best[0].stats,
+                         sizeof(System::Stats)) != 0 ||
+             r.exec_time != best[0].exec_time)) {
+          std::fprintf(stderr,
+                       "micro_shard: %s diverged at shard_threads=%u\n",
+                       shape.name, variants[v]);
+          return 1;
+        }
+      }
+    }
+    const double serial_tps =
+        static_cast<double>(best[0].exec_time) / best[0].wall_s;
+    if (json) {
+      std::printf("%s\"%s\": {\"simulated_ticks\": %llu", first_shape ? "" : ", ",
+                  shape.name,
+                  static_cast<unsigned long long>(best[0].exec_time));
+      for (std::size_t v = 0; v < std::size(variants); ++v) {
+        const double tps =
+            static_cast<double>(best[v].exec_time) / best[v].wall_s;
+        std::printf(", \"shard%u_ticks_per_sec\": %.0f", variants[v], tps);
+        if (variants[v] > 0) {
+          std::printf(", \"shard%u_vs_serial\": %.3f, "
+                      "\"shard%u_hint_rate\": %.3f",
+                      variants[v], tps / serial_tps, variants[v],
+                      best[v].hint_rate);
+        }
+      }
+      std::printf("}");
+    } else {
+      std::printf("%s: %llu simulated ticks\n", shape.name,
+                  static_cast<unsigned long long>(best[0].exec_time));
+      for (std::size_t v = 0; v < std::size(variants); ++v) {
+        const double tps =
+            static_cast<double>(best[v].exec_time) / best[v].wall_s;
+        if (variants[v] == 0) {
+          std::printf("  serial        %12.0f ticks/sec\n", tps);
+        } else {
+          std::printf(
+              "  shard x%u      %12.0f ticks/sec (%.3fx vs serial, "
+              "hint rate %.1f%%)\n",
+              variants[v], tps, tps / serial_tps,
+              100.0 * best[v].hint_rate);
+        }
+      }
+    }
+    first_shape = false;
+  }
+  if (json) std::printf("}}\n");
+  return 0;
+}

@@ -9,8 +9,17 @@
 // trajectory tracking.
 //
 // Usage:
-//   sweep_runner [--threads N] [--mixes 1-10] [--defenses all|none,pipo,...]
+//   sweep_runner [--threads N] [--shard-threads S] [--epoch-ticks E]
+//                [--mixes 1-10] [--defenses all|none,pipo,...]
 //                [--seeds K] [--instr M] [--ws-div D] [--out FILE]
+//
+// --threads parallelizes *across* configurations (one Simulation per
+// worker); --shard-threads parallelizes *within* each simulation via the
+// epoch-shard engine (sim/shard_engine.h) — simulated fields are
+// byte-identical across both knobs. On hosts with more than one hardware
+// thread the JSON array ends with a {"scaling": ...} record ready for
+// BENCH_engine.json (docs/benchmarks.md); single-threaded hosts omit it
+// (analysis/scaling_record.h).
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "analysis/perf_experiment.h"
+#include "analysis/scaling_record.h"
 #include "sim/system_config.h"
 #include "workload/mixes.h"
 
@@ -33,6 +43,8 @@ using namespace pipo;
 
 struct Options {
   unsigned threads = std::thread::hardware_concurrency();
+  unsigned shard_threads = 0;       ///< 0 = serial engine inside each sim
+  std::uint64_t epoch_ticks = 1024; ///< shard-engine barrier cadence
   unsigned mix_lo = 1, mix_hi = 10;
   std::vector<DefenseKind> defenses;
   unsigned seeds = 1;
@@ -69,6 +81,10 @@ Options parse_args(int argc, char** argv) {
     };
     if (arg == "--threads") {
       o.threads = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--shard-threads") {
+      o.shard_threads = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--epoch-ticks") {
+      o.epoch_ticks = std::stoull(value());
     } else if (arg == "--mixes") {
       const std::string v = value();
       const auto dash = v.find('-');
@@ -207,9 +223,11 @@ int main(int argc, char** argv) {
       // An escaping exception would std::terminate the whole sweep;
       // record per-config failures and keep the other results instead.
       try {
+        SystemConfig cfg = SystemConfig::with_defense(t.defense);
+        cfg.shard_threads = opt.shard_threads;
+        cfg.epoch_ticks = opt.epoch_ticks;
         const MixPerfResult r =
-            run_mix_perf(t.mix, SystemConfig::with_defense(t.defense),
-                         opt.instr, t.seed, opt.ws_div);
+            run_mix_perf(t.mix, cfg, opt.instr, t.seed, opt.ws_div);
         const auto t1 = std::chrono::steady_clock::now();
         results[i] = TaskResult{
             t, r, std::chrono::duration<double, std::milli>(t1 - t0).count(),
@@ -243,9 +261,26 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // Thread-scaling record, only on hosts that can demonstrate scaling
+  // (see analysis/scaling_record.h for the single-core fallback rule).
+  std::size_t succeeded = 0;
+  for (const TaskResult& r : results) succeeded += r.error.empty() ? 1 : 0;
+  SweepScaling scaling;
+  scaling.hw_threads = std::thread::hardware_concurrency();
+  scaling.threads = n_threads;
+  scaling.shard_threads = opt.shard_threads;
+  // Only completed configurations count as work — errored configs burn
+  // ~no wall clock and would inflate configs_per_sec.
+  scaling.configs = succeeded;
+  scaling.sweep_seconds = sweep_s;
+  const std::string scaling_json = scaling_record_json(scaling);
+
   std::fprintf(f, "[\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
-    emit(f, results[i], i + 1 == results.size());
+    emit(f, results[i], i + 1 == results.size() && scaling_json.empty());
+  }
+  if (!scaling_json.empty()) {
+    std::fprintf(f, "  %s\n", scaling_json.c_str());
   }
   std::fprintf(f, "]\n");
   if (f != stdout) std::fclose(f);

@@ -46,4 +46,25 @@ void StatGroup::reset_all() {
   for (auto& [_, g] : groups_) g.reset_all();
 }
 
+void StatGroup::merge_from(const StatGroup& o) {
+  for (const auto& [name, c] : o.counters_) {
+    counters_[name].merge(c);
+    if (descs_.find(name) == descs_.end()) {
+      const auto dit = o.descs_.find(name);
+      if (dit != o.descs_.end()) descs_[name] = dit->second;
+    }
+  }
+  for (const auto& [name, a] : o.accs_) {
+    accs_[name].merge(a);
+    if (descs_.find(name) == descs_.end()) {
+      const auto dit = o.descs_.find(name);
+      if (dit != o.descs_.end()) descs_[name] = dit->second;
+    }
+  }
+  for (const auto& [name, g] : o.groups_) {
+    auto [it, _] = groups_.try_emplace(name, StatGroup(name));
+    it->second.merge_from(g);
+  }
+}
+
 }  // namespace pipo

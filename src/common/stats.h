@@ -9,10 +9,21 @@
 #include <cstdint>
 #include <map>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace pipo {
+
+// Every statistic here has a *mergeable delta* form: a second instance
+// accumulated independently (per worker shard, per epoch, per sweep
+// task) folds into this one with merge(), and merging deltas in any
+// order yields the same result as accumulating directly. The production
+// instance of this shape is System::Stats::operator+= — the epoch-shard
+// barrier merge (sim/shard_engine.h) folds flat per-slice deltas, not
+// StatGroup trees; the registry-level merge here is the same contract
+// for harnesses that aggregate StatGroup trees across runs or shards,
+// pinned by tests/common/stats_test.cpp.
 
 /// A monotonically increasing 64-bit event counter.
 class Counter {
@@ -21,6 +32,9 @@ class Counter {
   void inc(std::uint64_t by = 1) { value_ += by; }
   void reset() { value_ = 0; }
   std::uint64_t value() const { return value_; }
+
+  /// Folds another counter's events into this one.
+  void merge(const Counter& o) { value_ += o.value_; }
 
  private:
   std::uint64_t value_ = 0;
@@ -47,6 +61,19 @@ class Accumulator {
     if (count_ == 0) return 0.0;
     const double m = mean();
     return sum_sq_ / static_cast<double>(count_) - m * m;
+  }
+
+  /// Folds another accumulator's samples into this one: counts and
+  /// moment sums add, extrema combine. Equivalent to having sampled both
+  /// streams into a single accumulator (floating-point addition order
+  /// aside — exact for the integral-valued samples the simulator feeds).
+  void merge(const Accumulator& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+    if (count_ == 0 || o.max_ > max_) max_ = o.max_;
+    sum_ += o.sum_;
+    sum_sq_ += o.sum_sq_;
+    count_ += o.count_;
   }
 
  private:
@@ -79,6 +106,20 @@ class Histogram {
   std::uint64_t overflow() const { return overflow_; }
   double bucket_width() const { return width_; }
   const Accumulator& summary() const { return acc_; }
+
+  /// Folds another histogram with the same geometry into this one.
+  /// Mismatched geometry is a caller bug — there is no meaningful merge
+  /// across different bucketings.
+  void merge(const Histogram& o) {
+    if (o.width_ != width_ || o.buckets_.size() != buckets_.size()) {
+      throw std::invalid_argument("Histogram::merge: geometry mismatch");
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += o.buckets_[i];
+    }
+    overflow_ += o.overflow_;
+    acc_.merge(o.acc_);
+  }
 
  private:
   double width_;
@@ -118,6 +159,12 @@ class StatGroup {
 
   /// Resets every statistic in the subtree.
   void reset_all();
+
+  /// Folds another tree's statistics into this one, creating any groups
+  /// or stats this tree does not have yet. Commutative over deltas, so a
+  /// set of per-shard StatGroup trees merges into the same totals in any
+  /// order — the tree-level counterpart of System::Stats::operator+=.
+  void merge_from(const StatGroup& o);
 
  private:
   std::string name_;

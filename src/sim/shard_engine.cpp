@@ -1,0 +1,118 @@
+#include "sim/shard_engine.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace pipo {
+
+ShardEngine::ShardEngine(std::uint32_t threads, std::uint32_t num_slices,
+                         std::uint32_t num_cores, HintFn hint_fn)
+    : num_threads_(threads),
+      num_slices_(num_slices),
+      num_cores_(num_cores),
+      hint_fn_(std::move(hint_fn)),
+      rings_(threads),
+      slots_(static_cast<std::size_t>(threads) * num_cores),
+      core_seq_(num_cores, 0) {
+  if (threads == 0) {
+    throw std::invalid_argument("ShardEngine needs at least one worker");
+  }
+  parked_ = std::thread::hardware_concurrency() <= 1;
+  workers_.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this, t] { worker_main(t); });
+  }
+}
+
+ShardEngine::~ShardEngine() {
+  stop_.store(true, std::memory_order_release);
+  if (parked_) {
+    const std::lock_guard<std::mutex> lock(park_mutex_);
+    park_cv_.notify_all();
+  }
+  for (auto& w : workers_) w.join();
+}
+
+void ShardEngine::publish(CoreId core, LineAddr line, std::uint32_t slice) {
+  Ring& r = rings_[shard_of_slice(slice)];
+  const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+  if (head - r.tail.load(std::memory_order_acquire) >= Ring::kCapacity) {
+    ++stats_.ring_full;  // worker is behind: issue will compute inline
+    return;
+  }
+  const std::uint64_t seq = ++next_seq_;
+  core_seq_[core] = seq;
+  r.items[head & (Ring::kCapacity - 1)] = StagedRequest{seq, core, line};
+  r.head.store(head + 1, std::memory_order_release);
+  ++stats_.published;
+}
+
+const ShardHints* ShardEngine::try_take(CoreId core, LineAddr line,
+                                        std::uint32_t slice) {
+  CoreSlot& s = slot(shard_of_slice(slice), core);
+  const std::uint64_t want = core_seq_[core];
+  if (want != 0 && s.ready.load(std::memory_order_acquire) == want &&
+      s.hints.line == line) {
+    ++stats_.hints_used;
+    return &s.hints;
+  }
+  ++stats_.hints_missed;
+  return nullptr;
+}
+
+void ShardEngine::quiesce() {
+  if (parked_) {
+    const std::lock_guard<std::mutex> lock(park_mutex_);
+    park_cv_.notify_all();
+  }
+  for (Ring& r : rings_) {
+    const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+    if (r.tail.load(std::memory_order_acquire) >= head) continue;
+    ++stats_.quiesce_waits;
+    while (r.tail.load(std::memory_order_acquire) < head) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardEngine::worker_main(std::uint32_t shard) {
+  Ring& r = rings_[shard];
+  std::uint64_t tail = 0;
+  unsigned idle_polls = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (tail < r.head.load(std::memory_order_acquire)) {
+      const StagedRequest req = r.items[tail & (Ring::kCapacity - 1)];
+      CoreSlot& s = slot(shard, req.core);
+      s.hints.line = req.line;
+      s.hints.monitor = AccessRouteHints{};
+      if (hint_fn_) hint_fn_(req.line, s.hints.monitor);
+      // The payload above must be visible before the sequence tag says
+      // it is ready, and the item must count as consumed only after the
+      // slot is published (quiesce() relies on tail for the barrier).
+      s.ready.store(req.seq, std::memory_order_release);
+      r.tail.store(++tail, std::memory_order_release);
+      idle_polls = 0;
+      continue;
+    }
+    if (parked_) {
+      // Single-core host: park until quiesce() or shutdown signals.
+      // Publishes do not signal, so steady-state simulation never pays
+      // a worker context switch (see the header's idle-policy note).
+      std::unique_lock<std::mutex> lock(park_mutex_);
+      park_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               tail < r.head.load(std::memory_order_acquire);
+      });
+      continue;
+    }
+    // Multi-core idle policy (see the header): spin briefly for
+    // low-latency pickup, then back off to a short sleep.
+    if (++idle_polls < idle_spin_budget_) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(idle_sleep_us_));
+    }
+  }
+}
+
+}  // namespace pipo

@@ -1,0 +1,206 @@
+// Epoch-sharded LLC slice parallelism inside one Simulation.
+//
+// The LLC is physically sliced (cache/sliced_cache.h) and every slice is
+// an independent CacheArray, so the per-line routing work — and in
+// particular the monitor filter's hash triple — is computable per slice
+// with no shared mutable state. This engine shards the slices across
+// worker threads with the fixed ownership map slice i -> shard i % T and
+// lets each worker drain the access requests routed to its shard from a
+// per-shard single-producer/single-consumer staging ring.
+//
+// Why workers precompute and the driver commits. The event engine is a
+// strict total order with timing feedback: a core's next request depends
+// on the completion tick of its previous one (Workload::next(now) and
+// the measured-latency channel), and one access's protocol side effects
+// cross slice boundaries — an L2 victim evicted by a fill to slice t
+// releases a directory presence bit in a *different* slice s, a back-
+// invalidation from slice s's eviction walks other cores' private
+// arrays, and the memory-controller channel state is order-dependent.
+// Committing slice mutations on worker threads would therefore have to
+// re-serialize on exactly the global event order to stay deterministic.
+// So ownership is split instead:
+//
+//   * shard workers own the *pure* per-line work for their slices: the
+//     line's routing and the monitor-filter hash triple
+//     (AccessRouteHints). Pure functions of the address and immutable
+//     seeds — racing ahead can never produce a wrong answer.
+//   * the driver thread owns every mutation (slice arrays, replacement
+//     and filter state, directory bits, MC channels), consuming worker
+//     results when they are ready and recomputing inline when they are
+//     not. Either way the committed values are identical, which is how
+//     the engine stays byte-identical to the serial one at every thread
+//     count and every epoch length (tests/oracle/
+//     sharded_system_differential_test.cpp holds it to that).
+//
+// Epochs. The run is cut into fixed-length epochs (SystemConfig::
+// epoch_ticks). Within an epoch the driver accrues System::Stats into
+// per-slice deltas; at the first activity at or past the epoch boundary
+// the System runs a barrier: quiesce() waits for every shard to drain
+// its staged requests, the deltas are merged into the global Stats in
+// fixed slice order (plain adds on the driver thread — no atomics), and
+// the epoch window advances. The barrier is what re-synchronizes shard
+// progress with the global tick before cores observe completions.
+//
+// Memory ordering. Staging rings are SPSC: the driver publishes with a
+// release store of the ring head, the owning worker consumes with an
+// acquire load and publishes results through a per-core slot, again
+// release->acquire on the slot's sequence tag. A core has at most one
+// request between step() and issue(), and the driver consumes the slot
+// before that core can publish again, so slot payloads are never written
+// and read concurrently. The ThreadSanitizer CI leg runs the unit and
+// oracle tiers with shard threads > 1 to keep this honest.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "pipo/monitor_iface.h"
+
+namespace pipo {
+
+/// What a shard worker precomputes for one published request.
+struct ShardHints {
+  LineAddr line = 0;
+  AccessRouteHints monitor;
+};
+
+class ShardEngine {
+ public:
+  /// Fills `hints.monitor` for `line` using immutable configuration only
+  /// (e.g. the Auto-Cuckoo filter's hash seeds). May be empty when the
+  /// active defense keeps no hashed state.
+  using HintFn = std::function<void(LineAddr line, AccessRouteHints& hints)>;
+
+  /// Spawns `threads` workers (>= 1). Slice i is owned by shard
+  /// i % threads; shards beyond the slice count simply stay idle.
+  ShardEngine(std::uint32_t threads, std::uint32_t num_slices,
+              std::uint32_t num_cores, HintFn hint_fn);
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  std::uint32_t threads() const { return num_threads_; }
+  std::uint32_t num_slices() const { return num_slices_; }
+  std::uint32_t shard_of_slice(std::uint32_t slice) const {
+    return slice % num_threads_;
+  }
+
+  // ------------------------------------------------------- driver side
+  /// Stages `core`'s pending request for the worker owning `slice`.
+  /// Called at step() time, so the worker has the request's pre_delay
+  /// window of lookahead. A full ring drops the request (counted) — the
+  /// driver will compute the hints inline at issue time instead.
+  void publish(CoreId core, LineAddr line, std::uint32_t slice);
+
+  /// The precomputed hints for `core`'s current request, or nullptr when
+  /// the worker has not finished them (or the publish was dropped). The
+  /// caller must fall back to computing inline; both paths are the same
+  /// pure function, so the simulated results cannot differ. `slice` must
+  /// be the slice of `line` — it selects the (shard, core) result slot,
+  /// which only that shard's worker ever writes (see the slot comment).
+  const ShardHints* try_take(CoreId core, LineAddr line,
+                             std::uint32_t slice);
+
+  /// Drain barrier: blocks until every shard has consumed everything
+  /// published to it. Cheap when the shards are already drained (one
+  /// acquire load per shard).
+  ///
+  /// Deliberately NOT part of the per-epoch barrier. Worker results are
+  /// pure functions gated by sequence validation and the Stats deltas
+  /// are driver-owned, so an epoch merge has no shared state to wait
+  /// for; blocking the driver on a sleeping worker's staged backlog
+  /// cost 23% wall clock on the churn shape of bench/micro_shard.cpp
+  /// (thousands of epochs x up to one sleep quantum each) with zero
+  /// correctness benefit. The System calls this once, at the end-of-run
+  /// flush, where it makes the engine counters stable for inspection.
+  void quiesce();
+
+  /// Host-side engine counters (they describe execution strategy, never
+  /// simulated results; excluded from System::Stats for that reason).
+  struct EngineStats {
+    std::uint64_t published = 0;    ///< requests staged to workers
+    std::uint64_t ring_full = 0;    ///< publishes dropped on a full ring
+    std::uint64_t hints_used = 0;   ///< try_take served a precomputed hint
+    std::uint64_t hints_missed = 0; ///< worker wasn't done: inline fallback
+    std::uint64_t quiesce_waits = 0;///< barriers that actually had to spin
+  };
+  const EngineStats& engine_stats() const { return stats_; }
+
+ private:
+  struct StagedRequest {
+    std::uint64_t seq = 0;
+    CoreId core = 0;
+    LineAddr line = 0;
+  };
+
+  /// SPSC staging ring: driver produces at head, the owning worker
+  /// consumes at tail. Power-of-two capacity; full means drop.
+  struct alignas(64) Ring {
+    static constexpr std::uint64_t kCapacity = 128;
+    std::atomic<std::uint64_t> head{0};  ///< driver-owned (release)
+    std::atomic<std::uint64_t> tail{0};  ///< worker-owned (release)
+    StagedRequest items[kCapacity];
+  };
+
+  /// Per-(shard, core) result slot. Exactly one writer — the shard's
+  /// worker — which is what makes the protocol race-free: a core's
+  /// *stale* publication (an earlier request whose line lived in a
+  /// different shard) is processed by a different worker into a
+  /// different slot, so it can never tear the current request's result.
+  /// (A single per-core slot looked sufficient at first — one request
+  /// outstanding per core — but stale ring entries made two workers
+  /// write it concurrently; the ThreadSanitizer tier caught it.)
+  /// `ready` carries the request sequence number (release); the driver
+  /// accepts the payload only when it matches the sequence it assigned
+  /// at publish time (acquire), and nothing can overwrite the payload
+  /// until the driver publishes that core's *next* request.
+  struct alignas(64) CoreSlot {
+    std::atomic<std::uint64_t> ready{0};
+    ShardHints hints;
+  };
+
+  CoreSlot& slot(std::uint32_t shard, CoreId core) {
+    return slots_[static_cast<std::size_t>(shard) * num_cores_ + core];
+  }
+
+  void worker_main(std::uint32_t shard);
+
+  std::uint32_t num_threads_;
+  std::uint32_t num_slices_;
+  std::uint32_t num_cores_;
+  HintFn hint_fn_;
+
+  std::vector<Ring> rings_;          // one per shard
+  std::vector<CoreSlot> slots_;      // threads x cores (see slot())
+  std::vector<std::uint64_t> core_seq_;  // driver-side: seq per core
+  std::uint64_t next_seq_ = 0;           // driver-side: global sequence
+
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+
+  // Idle policy, fixed at construction from hardware_concurrency():
+  // multi-core hosts spin briefly (low-latency hint pickup) before a
+  // short sleep. A single-core host *parks* its workers on a condition
+  // variable instead (parked_ = true): a worker that timeshares with
+  // the driver can never deliver a hint before issue anyway, and its
+  // poll-sleep wake cycles preempted the driver for a measurable
+  // fraction of the 1-thread overhead on the churn microbench shape.
+  // Parked workers wake only for quiesce() (end-of-run drain) and
+  // shutdown; publishes never signal (no syscall in the hot path).
+  bool parked_ = false;
+  unsigned idle_spin_budget_ = 64;
+  unsigned idle_sleep_us_ = 50;
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+
+  EngineStats stats_;  // driver-side only
+};
+
+}  // namespace pipo

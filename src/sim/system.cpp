@@ -45,6 +45,37 @@ void System::Stats::dump(std::ostream& os) const {
      << "ric_exemptions        " << ric_exemptions << '\n';
 }
 
+System::Stats& System::Stats::operator+=(const Stats& o) {
+  accesses += o.accesses;
+  l1_hits += o.l1_hits;
+  l2_hits += o.l2_hits;
+  l3_hits += o.l3_hits;
+  l3_misses += o.l3_misses;
+  back_invalidations += o.back_invalidations;
+  upgrades += o.upgrades;
+  invalidations_for_write += o.invalidations_for_write;
+  l2_evictions += o.l2_evictions;
+  writebacks += o.writebacks;
+  prefetch_fills += o.prefetch_fills;
+  prefetch_drops += o.prefetch_drops;
+  pp_tag_fills += o.pp_tag_fills;
+  pevicts += o.pevicts;
+  ric_exemptions += o.ric_exemptions;
+  return *this;
+}
+
+const System::Stats& System::stats() const {
+  if (!shards_) return stats_;
+  merged_view_ = stats_;
+  for (const Stats& d : slice_deltas_) merged_view_ += d;
+  return merged_view_;
+}
+
+void System::reset_stats() {
+  stats_ = Stats{};
+  for (Stats& d : slice_deltas_) d = Stats{};
+}
+
 System::System(const SystemConfig& cfg, FilterObserver* filter_observer)
     : cfg_(cfg) {
   cfg_.validate();
@@ -86,14 +117,81 @@ System::System(const SystemConfig& cfg, FilterObserver* filter_observer)
       active_monitor_ = null_monitor_.get();
       break;
   }
+
+  if (cfg_.shard_threads > 0) {
+    slice_deltas_.resize(cfg_.l3_slices);
+    epoch_end_ = cfg_.epoch_ticks;
+    // Shard workers precompute the monitor filter's hash triple when the
+    // active defense keeps hashed state. candidates() reads only the
+    // filter's immutable seeds and XOR table, so it is safe (and
+    // race-free) to evaluate from worker threads.
+    ShardEngine::HintFn hint_fn;
+    if (cfg_.defense == DefenseKind::kPiPoMonitor && cfg_.monitor.enabled) {
+      const BucketArray* arr = &pipo_monitor_->filter().array();
+      hint_fn = [arr](LineAddr line, AccessRouteHints& h) {
+        const BucketArray::Candidates c = arr->candidates(line);
+        h.fprint = c.fprint;
+        h.bucket1 = static_cast<std::uint64_t>(c.b1);
+        h.bucket2 = static_cast<std::uint64_t>(c.b2);
+        h.has_filter_triple = true;
+      };
+    }
+    shards_ = std::make_unique<ShardEngine>(cfg_.shard_threads,
+                                            cfg_.l3_slices, cfg_.num_cores,
+                                            std::move(hint_fn));
+  }
+}
+
+void System::epoch_barrier(Tick now) {
+  // No worker hand-shake here: worker results are pure and gated by
+  // sequence validation, and the deltas below are driver-owned, so the
+  // merge needs nothing from the workers. (An earlier draining barrier
+  // cost 23% on the churn microbench shape — see ShardEngine::quiesce.)
+  if (epoch_observer_) {
+    epoch_observer_(epochs_completed_, epoch_end_, slice_deltas_.data(),
+                    cfg_.l3_slices);
+  }
+  // Deterministic merge: fixed slice order, plain adds on the driver
+  // thread. Counter sums commute, so the result equals the serial
+  // engine's direct accumulation no matter how accesses were attributed.
+  for (Stats& d : slice_deltas_) {
+    stats_ += d;
+    d = Stats{};
+  }
+  ++epochs_completed_;
+  acc_ = &stats_;  // helpers must not write into a folded delta
+  if (now >= epoch_end_) {
+    const Tick e = cfg_.epoch_ticks;
+    epoch_end_ += e * ((now - epoch_end_) / e + 1);
+  }
+}
+
+void System::flush_epochs(Tick now) {
+  if (!shards_) return;
+  shards_->quiesce();  // end of run: settle the engine counters
+  epoch_barrier(now);
 }
 
 System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
                                      AccessType type, bool bypass_private) {
   assert(core < cfg_.num_cores);
-  drain_prefetches(now);
-  ++stats_.accesses;
+  drain_prefetches(now);  // also runs the epoch barrier when one is due
   const LineAddr line = line_of(addr);
+  // Sharded engine: pick up the shard worker's precomputed hints (inline
+  // fallback when the worker has not finished — same pure computation
+  // either way) and accrue this operation's counters into the target
+  // line's per-slice delta.
+  const ShardHints* hints = nullptr;
+  if (shards_) {
+    const std::uint32_t slice = l3_->slice_of(line);
+    hints = shards_->try_take(core, line, slice);
+    acc_ = &slice_deltas_[slice];
+  }
+  const auto observe = [&](LineAddr l) {
+    return hints ? active_monitor_->on_access(l, hints->monitor)
+                 : active_monitor_->on_access(l);
+  };
+  ++acc_->accesses;
 
   if (bypass_private) {
     // LLC-direct probe access: reads served by (and filling) the shared
@@ -103,17 +201,17 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
       slice.touch(*slot);
       CacheLine& l3l = slice.line(*slot);
       if (l3l.pp_tag) l3l.pp_accessed = true;
-      ++stats_.l3_hits;
+      ++acc_->l3_hits;
       const std::uint32_t lat = cfg_.l3.latency;
       return AccessOutcome{now + lat, lat, HitLevel::kL3};
     }
-    const MonitorAccessResult mres = active_monitor_->on_access(line);
+    const MonitorAccessResult mres = observe(line);
     const Tick done = mem_->fetch(now, line, MemController::Reason::kDemand);
     const std::uint32_t lat =
         cfg_.l3.latency + static_cast<std::uint32_t>(done - now);
     fill_l3(now, line, mres.ping_pong, /*from_prefetch=*/false,
             kInvalidCore);
-    ++stats_.l3_misses;
+    ++acc_->l3_misses;
     return AccessOutcome{now + lat, lat, HitLevel::kMemory};
   }
 
@@ -136,13 +234,13 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
           l3slot = l3_->lookup(line);
         }
         make_exclusive(core, line, l3_->line_for(line, *l3slot));
-        ++stats_.upgrades;
+        ++acc_->upgrades;
         lat += cfg_.l3.latency;
       }
       cl.state = Mesi::kModified;
       set_l2_state(core, line, Mesi::kModified);
     }
-    ++stats_.l1_hits;
+    ++acc_->l1_hits;
     return AccessOutcome{now + lat, lat, HitLevel::kL1};
   }
 
@@ -164,14 +262,14 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
         l3slot = l3_->lookup(line);
       }
       make_exclusive(core, line, l3_->line_for(line, *l3slot));
-      ++stats_.upgrades;
+      ++acc_->upgrades;
       lat += cfg_.l3.latency;
     }
     if (type == AccessType::kStore) cl.state = Mesi::kModified;
     fill_state = cl.state;
     level = HitLevel::kL2;
     l2_has = true;
-    ++stats_.l2_hits;
+    ++acc_->l2_hits;
   } else {
     // ---- L3 (shared, sliced, inclusive, directory) ----
     CacheArray& slice = l3_->slice_for(line);
@@ -191,10 +289,10 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
       l3l.presence |= bit(core);
       if (l3l.pp_tag) l3l.pp_accessed = true;  // demanded since tagging
       level = HitLevel::kL3;
-      ++stats_.l3_hits;
+      ++acc_->l3_hits;
     } else {
       // ---- memory: the Access the PiPoMonitor observes (Section IV) ----
-      const MonitorAccessResult mres = active_monitor_->on_access(line);
+      const MonitorAccessResult mres = observe(line);
       const Tick done =
           mem_->fetch(now, line, MemController::Reason::kDemand);
       lat = cfg_.l3.latency + static_cast<std::uint32_t>(done - now);
@@ -216,7 +314,7 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
         if (slot) l3_->line_for(line, *slot).ever_written = true;
       }
       level = HitLevel::kMemory;
-      ++stats_.l3_misses;
+      ++acc_->l3_misses;
     }
   }
 
@@ -241,7 +339,7 @@ void System::fill_private(Tick now, CoreId core, CacheArray& l1,
 
 void System::handle_l2_eviction(Tick now, CoreId core,
                                 const EvictedLine& ev) {
-  ++stats_.l2_evictions;
+  ++acc_->l2_evictions;
   bool dirty = ev.state == Mesi::kModified;
   // L2 is inclusive of both L1s: back-invalidate the core's own copies.
   for (CacheArray* l1 : {l1i_[core].get(), l1d_[core].get()}) {
@@ -259,7 +357,7 @@ void System::handle_l2_eviction(Tick now, CoreId core,
            "inclusive invariant: L2 line must be in L3");
     if (dirty) {
       mem_->writeback(now, ev.line);
-      ++stats_.writebacks;
+      ++acc_->writebacks;
     }
     return;
   }
@@ -287,7 +385,7 @@ void System::fill_l3(Tick now, LineAddr line, bool pp_tagged,
   // un-accessed so that an untouched line does not re-arm the prefetcher
   // (the paper's anti-over-protection rule).
   l3l.pp_accessed = pp_tagged && !from_prefetch;
-  if (pp_tagged && !from_prefetch) ++stats_.pp_tag_fills;
+  if (pp_tagged && !from_prefetch) ++acc_->pp_tag_fills;
 }
 
 void System::handle_l3_eviction(Tick now, const EvictedLine& ev,
@@ -301,7 +399,7 @@ void System::handle_l3_eviction(Tick now, const EvictedLine& ev,
   const bool ric_exempt =
       cfg_.defense == DefenseKind::kRic && !ev.ever_written;
   if (ric_exempt && ev.presence != 0) {
-    ++stats_.ric_exemptions;
+    ++acc_->ric_exemptions;
   }
   // Inclusive back-invalidation: every private copy dies with the LLC
   // line. This is the observable coherence action cross-core Prime+Probe
@@ -309,18 +407,18 @@ void System::handle_l3_eviction(Tick now, const EvictedLine& ev,
   for (CoreId c = 0; !ric_exempt && c < cfg_.num_cores; ++c) {
     if (ev.presence & bit(c)) {
       dirty = invalidate_private(c, ev.line) || dirty;
-      ++stats_.back_invalidations;
+      ++acc_->back_invalidations;
       active_monitor_->on_back_invalidation(now, ev.line);
     }
   }
   if (dirty) {
     mem_->writeback(now, ev.line);
-    ++stats_.writebacks;
+    ++acc_->writebacks;
   }
   if (ev.pp_tag) {
     active_monitor_->on_pevict(now, ev.line, ev.pp_accessed,
                                demand_caused);
-    ++stats_.pevicts;
+    ++acc_->pevicts;
   }
 }
 
@@ -341,7 +439,7 @@ void System::make_exclusive(CoreId writer, LineAddr line,
   for (CoreId c = 0; c < cfg_.num_cores; ++c) {
     if (c == writer || !(l3_line.presence & bit(c))) continue;
     if (invalidate_private(c, line)) l3_line.dirty = true;
-    ++stats_.invalidations_for_write;
+    ++acc_->invalidations_for_write;
   }
   l3_line.presence &= bit(writer);
 }
@@ -387,7 +485,7 @@ void System::reconcile_ric_orphans(LineAddr line, CoreId requester,
     if (!holds) continue;
     if (is_store) {
       invalidate_private(c, line);  // orphans are clean: nothing to merge
-      ++stats_.invalidations_for_write;
+      ++acc_->invalidations_for_write;
     } else {
       l3_line.presence |= bit(c);
     }
@@ -470,6 +568,11 @@ std::string System::check_invariants() const {
 }
 
 void System::drain_prefetches(Tick now) {
+  // Epoch barrier check. drain_prefetches is the first thing access()
+  // does and the only thing the driver's uncore tick does, so this one
+  // check point closes epochs for every kind of system activity: an
+  // epoch ends at the first operation at or past its boundary tick.
+  if (shards_ && now >= epoch_end_) epoch_barrier(now);
   // The drain runs lazily (at every access and at the driver's uncore
   // tick), so requests are backdated to their true issue times: a pEvict
   // whose delay elapsed at tick R enters the MC channel at R, not at the
@@ -479,8 +582,9 @@ void System::drain_prefetches(Tick now) {
   //
   // Stage 1: pEvicts whose delay has elapsed become MC fetch requests.
   for (const auto& req : active_monitor_->take_due_prefetches(now)) {
+    if (shards_) acc_ = &slice_deltas_[l3_->slice_of(req.line)];
     if (l3_->lookup(req.line)) {
-      ++stats_.prefetch_drops;  // line came back on its own: drop
+      ++acc_->prefetch_drops;  // line came back on its own: drop
       continue;
     }
     active_monitor_->on_prefetch_fetch(req.line);
@@ -493,13 +597,14 @@ void System::drain_prefetches(Tick now) {
          inflight_prefetch_.front().fill_at <= now) {
     const InflightPrefetch pf = inflight_prefetch_.front();
     inflight_prefetch_.pop_front();
+    if (shards_) acc_ = &slice_deltas_[l3_->slice_of(pf.line)];
     if (l3_->lookup(pf.line)) {
-      ++stats_.prefetch_drops;  // a demand fetch beat the prefetch back
+      ++acc_->prefetch_drops;  // a demand fetch beat the prefetch back
       continue;
     }
     fill_l3(pf.fill_at, pf.line, /*pp_tagged=*/pf.tag,
             /*from_prefetch=*/true, kInvalidCore);
-    ++stats_.prefetch_fills;
+    ++acc_->prefetch_fills;
   }
 }
 

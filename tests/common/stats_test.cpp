@@ -104,5 +104,99 @@ TEST(StatGroup, ResetAllClearsSubtree) {
   EXPECT_EQ(root.find_counter("sub.b")->value(), 0u);
 }
 
+
+// --- mergeable-delta form (used by the epoch-shard barrier merge) ---
+
+TEST(Counter, MergeAddsEvents) {
+  Counter a, b;
+  a.inc(5);
+  b.inc(7);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 12u);
+  EXPECT_EQ(b.value(), 7u);  // the delta is untouched
+}
+
+TEST(Accumulator, MergeEqualsDirectAccumulation) {
+  Accumulator direct, x, y;
+  for (double v : {3.0, 9.0, 1.0}) {
+    direct.sample(v);
+    x.sample(v);
+  }
+  for (double v : {4.0, 0.5}) {
+    direct.sample(v);
+    y.sample(v);
+  }
+  x.merge(y);
+  EXPECT_EQ(x.count(), direct.count());
+  EXPECT_DOUBLE_EQ(x.sum(), direct.sum());
+  EXPECT_DOUBLE_EQ(x.mean(), direct.mean());
+  EXPECT_DOUBLE_EQ(x.min(), direct.min());
+  EXPECT_DOUBLE_EQ(x.max(), direct.max());
+  EXPECT_DOUBLE_EQ(x.variance(), direct.variance());
+}
+
+TEST(Accumulator, MergeWithEmptySidesIsIdentity) {
+  Accumulator filled, empty;
+  filled.sample(2.0);
+  filled.sample(6.0);
+  Accumulator into_empty;
+  into_empty.merge(filled);
+  EXPECT_EQ(into_empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(into_empty.min(), 2.0);
+  filled.merge(empty);
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.max(), 6.0);
+}
+
+TEST(Histogram, MergeAddsBucketsAndOverflow) {
+  Histogram a(4, 1.0), b(4, 1.0);
+  a.sample(0.5);
+  b.sample(0.5);
+  b.sample(2.5);
+  b.sample(100.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.buckets()[0], 2u);
+  EXPECT_EQ(a.buckets()[2], 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.summary().count(), 4u);
+}
+
+TEST(Histogram, MergeRejectsGeometryMismatch) {
+  Histogram a(4, 1.0), wrong_width(4, 2.0), wrong_buckets(8, 1.0);
+  EXPECT_THROW(a.merge(wrong_width), std::invalid_argument);
+  EXPECT_THROW(a.merge(wrong_buckets), std::invalid_argument);
+}
+
+TEST(StatGroup, MergeFromFoldsTreesAndCreatesMissingEntries) {
+  StatGroup total("root"), shard0("root"), shard1("root");
+  shard0.add_counter("hits")->inc(3);
+  shard0.add_group("l3")->add_counter("misses")->inc(2);
+  shard1.add_counter("hits")->inc(4);
+  shard1.add_group("l3")->add_counter("misses")->inc(5);
+  shard1.add_group("mem")->add_counter("fetches")->inc(1);  // only in s1
+  total.merge_from(shard0);
+  total.merge_from(shard1);
+  EXPECT_EQ(total.find_counter("hits")->value(), 7u);
+  EXPECT_EQ(total.find_counter("l3.misses")->value(), 7u);
+  EXPECT_EQ(total.find_counter("mem.fetches")->value(), 1u);
+}
+
+TEST(StatGroup, MergeOrderDoesNotMatter) {
+  StatGroup ab("r"), ba("r"), a("r"), b("r");
+  a.add_counter("n")->inc(10);
+  a.add_group("g")->add_accumulator("lat")->sample(5.0);
+  b.add_counter("n")->inc(20);
+  b.add_group("g")->add_accumulator("lat")->sample(9.0);
+  ab.merge_from(a);
+  ab.merge_from(b);
+  ba.merge_from(b);
+  ba.merge_from(a);
+  EXPECT_EQ(ab.find_counter("n")->value(), ba.find_counter("n")->value());
+  std::ostringstream da, db;
+  ab.dump(da);
+  ba.dump(db);
+  EXPECT_EQ(da.str(), db.str());
+}
+
 }  // namespace
 }  // namespace pipo

@@ -1,0 +1,495 @@
+// Parallel-equivalence oracle for the epoch-sharded LLC slice engine
+// (sim/shard_engine.h): the serial System is the specification, and the
+// sharded System must reproduce it *exactly* — per-access outcomes,
+// per-epoch Stats deltas and final state — at every shard-thread count
+// and every epoch length, with and without the core-side request
+// publication that feeds the shard workers.
+//
+// The comparison is deliberately stricter than end-state equality:
+//
+//  * every AccessOutcome (completion tick, latency, serving level) is
+//    compared access-by-access, so a divergence is caught at the precise
+//    operation that introduced it;
+//  * per-epoch Stats deltas are compared. The serial engine has no
+//    epochs, so the test replays the sharded engine's barrier rule ("an
+//    epoch closes at the first activity at or past its boundary tick")
+//    against the serial run and diffs stats snapshots at the same
+//    boundaries. Per-slice deltas must additionally be identical across
+//    shard-thread counts, because slice attribution is a function of the
+//    line, not of the worker layout;
+//  * System::check_invariants() must hold on both engines after replay.
+//
+// Traces are randomized (working sets sized to force L3 evictions,
+// loads/stores/ifetches/bypass probes, bursty tick gaps) plus directed
+// shapes for the protocol corners: same-set LLC thrash (back-
+// invalidations + pEvict/prefetch interplay), cross-core write sharing
+// (upgrades/invalidations), bypass probe rounds against a demanded
+// victim line, and RIC orphan reconciliation.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/system.h"
+#include "tests/sim/test_configs.h"
+
+namespace pipo {
+namespace {
+
+using testcfg::mini;
+using testcfg::mini_l3_stride;
+
+constexpr Tick kDrainPeriod = 64;  // the Simulation's default uncore tick
+
+// Every counter of System::Stats, for field-wise delta arithmetic.
+#define SHARD_STATS_FIELDS(X) \
+  X(accesses)                 \
+  X(l1_hits)                  \
+  X(l2_hits)                  \
+  X(l3_hits)                  \
+  X(l3_misses)                \
+  X(back_invalidations)       \
+  X(upgrades)                 \
+  X(invalidations_for_write)  \
+  X(l2_evictions)             \
+  X(writebacks)               \
+  X(prefetch_fills)           \
+  X(prefetch_drops)           \
+  X(pp_tag_fills)             \
+  X(pevicts)                  \
+  X(ric_exemptions)
+
+System::Stats sub(const System::Stats& a, const System::Stats& b) {
+  System::Stats d;
+#define SHARD_X(f) d.f = a.f - b.f;
+  SHARD_STATS_FIELDS(SHARD_X)
+#undef SHARD_X
+  return d;
+}
+
+bool stats_eq(const System::Stats& a, const System::Stats& b) {
+  static_assert(std::is_trivially_copyable_v<System::Stats>);
+  return std::memcmp(&a, &b, sizeof(System::Stats)) == 0;
+}
+
+struct Op {
+  Tick at = 0;
+  CoreId core = 0;
+  Addr addr = 0;
+  AccessType type = AccessType::kLoad;
+  bool bypass = false;
+};
+
+/// Randomized trace over `working_lines` line addresses: bursty gaps
+/// (including same-tick accesses from different cores), ~1/4 stores,
+/// some instruction fetches and occasional LLC-direct bypass probes.
+std::vector<Op> random_trace(std::uint64_t seed, std::uint32_t num_cores,
+                             std::uint64_t working_lines, int n) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(n);
+  Tick now = rng.below(50);
+  for (int i = 0; i < n; ++i) {
+    Op op;
+    op.at = now;
+    op.core = static_cast<CoreId>(rng.below(num_cores));
+    op.addr = byte_of(rng.below(working_lines)) + rng.below(kLineSizeBytes);
+    if (rng.chance(0.25)) {
+      op.type = AccessType::kStore;
+    } else if (rng.chance(0.1)) {
+      op.type = AccessType::kInstFetch;
+    }
+    op.bypass = op.type == AccessType::kLoad && rng.chance(0.05);
+    ops.push_back(op);
+    now += rng.below(40);  // 0 keeps multiple cores on the same tick
+  }
+  return ops;
+}
+
+/// Same-set LLC thrash: lines congruent modulo the mini() LLC geometry,
+/// demanded from rotating cores — forces evictions, back-invalidations
+/// and (under PiPoMonitor) the pEvict -> prefetch -> re-evict loop.
+std::vector<Op> thrash_trace(int rounds, std::uint32_t num_cores) {
+  std::vector<Op> ops;
+  Tick now = 0;
+  const std::uint64_t stride = mini_l3_stride();
+  for (int r = 0; r < rounds; ++r) {
+    for (std::uint64_t k = 0; k < 12; ++k) {  // 12 congruent lines > 8 ways
+      ops.push_back(Op{now, static_cast<CoreId>((r + k) % num_cores),
+                       byte_of(1 + k * stride), AccessType::kLoad, false});
+      now += 7;
+    }
+  }
+  return ops;
+}
+
+/// Cross-core write sharing: every core reads the round's line (S
+/// everywhere), then one core stores it — an S->M upgrade through the
+/// directory plus invalidations of the other sharers.
+std::vector<Op> sharing_trace(int rounds, std::uint32_t num_cores) {
+  std::vector<Op> ops;
+  Tick now = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const Addr a = byte_of(5 + static_cast<std::uint64_t>(r % 3));
+    for (CoreId c = 0; c < num_cores; ++c) {
+      ops.push_back(Op{now, c, a, AccessType::kLoad, false});
+      now += 3;
+    }
+    ops.push_back(Op{now, static_cast<CoreId>(r % num_cores), a,
+                     AccessType::kStore, false});
+    now += 3;
+  }
+  return ops;
+}
+
+/// Attacker-style probe rounds: core 0 sweeps a congruent eviction set
+/// with bypass probes while core 1 keeps demanding the victim line.
+std::vector<Op> probe_trace(int rounds) {
+  std::vector<Op> ops;
+  Tick now = 0;
+  const std::uint64_t stride = mini_l3_stride();
+  const Addr victim = byte_of(3);
+  for (int r = 0; r < rounds; ++r) {
+    ops.push_back(Op{now, 1, victim, AccessType::kLoad, false});
+    now += 11;
+    for (std::uint64_t k = 1; k <= 10; ++k) {
+      ops.push_back(
+          Op{now, 0, byte_of(3 + k * stride), AccessType::kLoad, true});
+      now += 5;
+    }
+  }
+  return ops;
+}
+
+struct EpochRecord {
+  std::uint64_t epoch = 0;
+  Tick end = 0;
+  std::vector<System::Stats> per_slice;
+  System::Stats total;
+};
+
+struct ReplayResult {
+  std::vector<System::AccessOutcome> outcomes;
+  System::Stats final_stats;
+  std::string invariants;
+  std::vector<EpochRecord> epochs;  ///< sharded runs only
+};
+
+/// Drives a System through `ops` the way the Simulation would: periodic
+/// prefetch drains every kDrainPeriod ticks, publication at "step" time
+/// for sharded systems (when `publish`), and a final epoch flush.
+ReplayResult replay(const SystemConfig& cfg, const std::vector<Op>& ops,
+                    bool publish = true) {
+  System sys(cfg);
+  ReplayResult r;
+  if (sys.sharded()) {
+    sys.set_epoch_observer([&r](std::uint64_t epoch, Tick end,
+                                const System::Stats* per_slice,
+                                std::uint32_t n) {
+      EpochRecord rec;
+      rec.epoch = epoch;
+      rec.end = end;
+      rec.per_slice.assign(per_slice, per_slice + n);
+      for (std::uint32_t s = 0; s < n; ++s) rec.total += per_slice[s];
+      r.epochs.push_back(std::move(rec));
+    });
+  }
+  Tick next_drain = kDrainPeriod;
+  Tick last = 0;
+  for (const Op& op : ops) {
+    while (next_drain <= op.at) {
+      sys.drain_prefetches(next_drain);
+      next_drain += kDrainPeriod;
+    }
+    if (publish && sys.sharded()) sys.publish_pending(op.core, op.addr);
+    r.outcomes.push_back(
+        sys.access(op.at, op.core, op.addr, op.type, op.bypass));
+    last = op.at;
+  }
+  sys.flush_epochs(last + 1);
+  r.final_stats = sys.stats();
+  r.invariants = sys.check_invariants();
+  return r;
+}
+
+/// Serial-engine epoch deltas under the sharded barrier rule: snapshot
+/// the stats diff at the first activity (drain or access) at or past
+/// each boundary, exactly where the sharded engine runs its barrier,
+/// plus the final-flush partial epoch.
+std::vector<System::Stats> serial_epoch_deltas(const SystemConfig& cfg,
+                                               const std::vector<Op>& ops,
+                                               Tick epoch_ticks) {
+  System sys(cfg);
+  std::vector<System::Stats> deltas;
+  System::Stats prev{};
+  Tick epoch_end = epoch_ticks;
+  const auto boundary = [&](Tick now) {
+    if (now < epoch_end) return;
+    const System::Stats snap = sys.stats();
+    deltas.push_back(sub(snap, prev));
+    prev = snap;
+    epoch_end += epoch_ticks * ((now - epoch_end) / epoch_ticks + 1);
+  };
+  Tick next_drain = kDrainPeriod;
+  Tick last = 0;
+  for (const Op& op : ops) {
+    while (next_drain <= op.at) {
+      boundary(next_drain);
+      sys.drain_prefetches(next_drain);
+      next_drain += kDrainPeriod;
+    }
+    boundary(op.at);
+    sys.access(op.at, op.core, op.addr, op.type, op.bypass);
+    last = op.at;
+  }
+  deltas.push_back(sub(sys.stats(), prev));  // the final-flush epoch
+  (void)last;
+  return deltas;
+}
+
+SystemConfig sharded(const SystemConfig& base, std::uint32_t threads,
+                     Tick epoch_ticks) {
+  SystemConfig cfg = base;
+  cfg.shard_threads = threads;
+  cfg.epoch_ticks = epoch_ticks;
+  return cfg;
+}
+
+void expect_equivalent(const ReplayResult& serial, const ReplayResult& shd) {
+  ASSERT_EQ(serial.outcomes.size(), shd.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    const auto& a = serial.outcomes[i];
+    const auto& b = shd.outcomes[i];
+    ASSERT_TRUE(a.complete == b.complete && a.latency == b.latency &&
+                a.level == b.level)
+        << "outcome diverged at access " << i << ": serial {" << a.complete
+        << ", " << a.latency << ", " << to_string(a.level) << "} vs sharded {"
+        << b.complete << ", " << b.latency << ", " << to_string(b.level)
+        << "}";
+  }
+  EXPECT_TRUE(stats_eq(serial.final_stats, shd.final_stats))
+      << "final System::Stats diverged";
+  EXPECT_EQ(serial.invariants, "");
+  EXPECT_EQ(shd.invariants, "");
+}
+
+SystemConfig defense_cfg(DefenseKind kind, std::uint32_t slices = 4) {
+  SystemConfig cfg = mini();
+  cfg.defense = kind;
+  cfg.monitor.enabled = (kind == DefenseKind::kPiPoMonitor);
+  cfg.l3_slices = slices;
+  return cfg;
+}
+
+const DefenseKind kAllDefenses[] = {
+    DefenseKind::kNone, DefenseKind::kPiPoMonitor,
+    DefenseKind::kDirectoryMonitor, DefenseKind::kSharp,
+    DefenseKind::kBitp, DefenseKind::kRic,
+};
+
+// ---------------------------------------------------------------------
+// Randomized traces across the (defense x shard-thread x epoch) matrix.
+
+TEST(ShardedSystemDifferential, RandomTracesEveryDefenseAndThreadCount) {
+  for (DefenseKind kind : kAllDefenses) {
+    const SystemConfig base = defense_cfg(kind);
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      const auto ops =
+          random_trace(seed * 977 + static_cast<std::uint64_t>(kind),
+                       base.num_cores, 3 * mini_l3_stride(), 600);
+      const ReplayResult serial = replay(base, ops);
+      for (std::uint32_t threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE(testing::Message()
+                     << to_string(kind) << " seed=" << seed
+                     << " threads=" << threads);
+        expect_equivalent(serial, replay(sharded(base, threads, 64), ops));
+      }
+    }
+  }
+}
+
+TEST(ShardedSystemDifferential, DegenerateEpochLengths) {
+  // One-tick epochs (a barrier before nearly every operation) and an
+  // epoch far longer than the trace (single barrier at the flush).
+  for (DefenseKind kind : {DefenseKind::kNone, DefenseKind::kPiPoMonitor}) {
+    const SystemConfig base = defense_cfg(kind);
+    const auto ops = random_trace(42, base.num_cores, 3 * mini_l3_stride(),
+                                  500);
+    const ReplayResult serial = replay(base, ops);
+    for (Tick epoch : {Tick{1}, ~Tick{0} / 2}) {
+      SCOPED_TRACE(testing::Message()
+                   << to_string(kind) << " epoch_ticks=" << epoch);
+      expect_equivalent(serial, replay(sharded(base, 2, epoch), ops));
+    }
+  }
+}
+
+TEST(ShardedSystemDifferential, SliceCountsIncludingSingleSlice) {
+  // One slice (every access in one shard, other workers idle) and two
+  // slices; 4 threads over 1 slice pins the idle-worker path.
+  for (std::uint32_t slices : {1u, 2u}) {
+    for (DefenseKind kind : {DefenseKind::kNone, DefenseKind::kPiPoMonitor}) {
+      const SystemConfig base = defense_cfg(kind, slices);
+      const auto ops = random_trace(7, base.num_cores, 3 * mini_l3_stride(),
+                                    400);
+      const ReplayResult serial = replay(base, ops);
+      for (std::uint32_t threads : {2u, 4u}) {
+        SCOPED_TRACE(testing::Message() << to_string(kind) << " slices="
+                                        << slices << " threads=" << threads);
+        expect_equivalent(serial, replay(sharded(base, threads, 64), ops));
+      }
+    }
+  }
+}
+
+TEST(ShardedSystemDifferential, InlineFallbackWithoutPublication) {
+  // A sharded System that never receives publish_pending() must compute
+  // every hint inline and still match — pins the fallback path and
+  // proves results cannot depend on worker progress.
+  for (DefenseKind kind : {DefenseKind::kPiPoMonitor, DefenseKind::kRic}) {
+    const SystemConfig base = defense_cfg(kind);
+    const auto ops = random_trace(11, base.num_cores, 3 * mini_l3_stride(),
+                                  500);
+    expect_equivalent(replay(base, ops),
+                      replay(sharded(base, 2, 64), ops, /*publish=*/false));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Directed protocol corners.
+
+TEST(ShardedSystemDifferential, DirectedThrashBackInvalidationsAndPrefetch) {
+  for (DefenseKind kind : {DefenseKind::kPiPoMonitor, DefenseKind::kBitp,
+                           DefenseKind::kSharp}) {
+    const SystemConfig base = defense_cfg(kind);
+    const auto ops = thrash_trace(40, base.num_cores);
+    const ReplayResult serial = replay(base, ops);
+    // The trace must actually exercise the machinery it targets.
+    EXPECT_GT(serial.final_stats.back_invalidations, 0u) << to_string(kind);
+    if (kind == DefenseKind::kPiPoMonitor) {
+      EXPECT_GT(serial.final_stats.pevicts, 0u);
+      // The monitor reacted: prefetches either landed or were dropped
+      // because the thrash demanded the line back first — both paths
+      // are prefetch-pipeline activity this trace must exercise.
+      EXPECT_GT(serial.final_stats.prefetch_fills +
+                    serial.final_stats.prefetch_drops,
+                0u);
+    }
+    for (std::uint32_t threads : {2u, 4u}) {
+      SCOPED_TRACE(testing::Message()
+                   << to_string(kind) << " threads=" << threads);
+      expect_equivalent(serial, replay(sharded(base, threads, 32), ops));
+    }
+  }
+}
+
+TEST(ShardedSystemDifferential, DirectedWriteSharingUpgrades) {
+  const SystemConfig base = defense_cfg(DefenseKind::kNone);
+  const auto ops = sharing_trace(60, base.num_cores);
+  const ReplayResult serial = replay(base, ops);
+  EXPECT_GT(serial.final_stats.upgrades, 0u);
+  EXPECT_GT(serial.final_stats.invalidations_for_write, 0u);
+  expect_equivalent(serial, replay(sharded(base, 2, 64), ops));
+}
+
+TEST(ShardedSystemDifferential, DirectedBypassProbeRounds) {
+  const SystemConfig base = defense_cfg(DefenseKind::kPiPoMonitor);
+  const auto ops = probe_trace(30);
+  const ReplayResult serial = replay(base, ops);
+  EXPECT_GT(serial.final_stats.l3_misses, 0u);
+  for (std::uint32_t threads : {1u, 4u}) {
+    expect_equivalent(serial, replay(sharded(base, threads, 16), ops));
+  }
+}
+
+TEST(ShardedSystemDifferential, DirectedRicOrphanReconciliation) {
+  const SystemConfig base = defense_cfg(DefenseKind::kRic);
+  // Read-share a line everywhere, thrash its LLC set to orphan the
+  // private copies, then write from another core (orphan invalidation).
+  std::vector<Op> ops;
+  Tick now = 0;
+  const std::uint64_t stride = mini_l3_stride();
+  for (int round = 0; round < 20; ++round) {
+    for (CoreId c = 0; c < base.num_cores; ++c) {
+      ops.push_back(Op{now, c, byte_of(9), AccessType::kLoad, false});
+      now += 5;
+    }
+    for (std::uint64_t k = 1; k <= 10; ++k) {
+      ops.push_back(Op{now, 0, byte_of(9 + k * stride),
+                       AccessType::kLoad, false});
+      now += 5;
+    }
+    ops.push_back(Op{now, static_cast<CoreId>(round % base.num_cores),
+                     byte_of(9), AccessType::kStore, false});
+    now += 9;
+  }
+  const ReplayResult serial = replay(base, ops);
+  EXPECT_GT(serial.final_stats.ric_exemptions, 0u);
+  expect_equivalent(serial, replay(sharded(base, 2, 64), ops));
+}
+
+// ---------------------------------------------------------------------
+// Per-epoch Stats-delta equality.
+
+TEST(ShardedSystemDifferential, PerEpochDeltasMatchSerialSnapshots) {
+  for (DefenseKind kind : {DefenseKind::kNone, DefenseKind::kPiPoMonitor,
+                           DefenseKind::kRic}) {
+    const SystemConfig base = defense_cfg(kind);
+    const auto ops = random_trace(23, base.num_cores, 3 * mini_l3_stride(),
+                                  600);
+    constexpr Tick kEpoch = 64;
+    const std::vector<System::Stats> serial =
+        serial_epoch_deltas(base, ops, kEpoch);
+    const ReplayResult shd = replay(sharded(base, 2, kEpoch), ops);
+    ASSERT_EQ(serial.size(), shd.epochs.size()) << to_string(kind);
+    ASSERT_GT(shd.epochs.size(), 3u) << "trace too short to cut epochs";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(stats_eq(serial[i], shd.epochs[i].total))
+          << to_string(kind) << ": epoch " << i
+          << " delta diverged from the serial snapshot";
+    }
+  }
+}
+
+TEST(ShardedSystemDifferential, PerSliceDeltasInvariantAcrossThreadCounts) {
+  // Slice attribution is a function of the line address only, so the
+  // per-slice epoch deltas must be bit-identical no matter how slices
+  // are distributed over workers.
+  const SystemConfig base = defense_cfg(DefenseKind::kPiPoMonitor);
+  const auto ops = random_trace(31, base.num_cores, 3 * mini_l3_stride(),
+                                600);
+  const ReplayResult one = replay(sharded(base, 1, 64), ops);
+  for (std::uint32_t threads : {2u, 4u}) {
+    const ReplayResult many = replay(sharded(base, threads, 64), ops);
+    ASSERT_EQ(one.epochs.size(), many.epochs.size());
+    for (std::size_t i = 0; i < one.epochs.size(); ++i) {
+      EXPECT_EQ(one.epochs[i].epoch, many.epochs[i].epoch);
+      EXPECT_EQ(one.epochs[i].end, many.epochs[i].end);
+      ASSERT_EQ(one.epochs[i].per_slice.size(),
+                many.epochs[i].per_slice.size());
+      for (std::size_t s = 0; s < one.epochs[i].per_slice.size(); ++s) {
+        EXPECT_TRUE(stats_eq(one.epochs[i].per_slice[s],
+                             many.epochs[i].per_slice[s]))
+            << "epoch " << i << " slice " << s << " threads " << threads;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The comparison has teeth.
+
+TEST(ShardedSystemDifferential, DivergentTracesAreDetected) {
+  const SystemConfig base = defense_cfg(DefenseKind::kNone);
+  const auto ops = random_trace(5, base.num_cores, 3 * mini_l3_stride(), 300);
+  auto tweaked = ops;
+  tweaked[150].addr += kLineSizeBytes;  // one different line, mid-trace
+  const ReplayResult a = replay(base, ops);
+  const ReplayResult b = replay(base, tweaked);
+  EXPECT_FALSE(stats_eq(a.final_stats, b.final_stats));
+}
+
+}  // namespace
+}  // namespace pipo
