@@ -12,6 +12,8 @@
 //   sweep_runner [--threads N] [--shard-threads S] [--epoch-ticks E]
 //                [--mixes 1-10] [--defenses all|none,pipo,...]
 //                [--seeds K] [--instr M] [--ws-div D] [--out FILE]
+//                [--trace PATH]... [--no-mixes]
+//                [--record DIR] [--record-format text|binary]
 //
 // --threads parallelizes *across* configurations (one Simulation per
 // worker); --shard-threads parallelizes *within* each simulation via the
@@ -20,6 +22,16 @@
 // thread the JSON array ends with a {"scaling": ...} record ready for
 // BENCH_engine.json (docs/benchmarks.md); single-threaded hosts omit it
 // (analysis/scaling_record.h).
+//
+// Recorded traces run as sweep scenarios alongside the mixes
+// (docs/traces.md): each --trace PATH is a trace file (drives core 0),
+// a scenario directory holding core<i>.trace files, or a directory of
+// such scenario directories — every scenario runs against every
+// --defenses entry via streaming replay (O(chunk) memory). --no-mixes
+// drops the mix grid and runs traces only. --record DIR captures every
+// mix configuration's per-core request streams to
+// DIR/mix<m>_<defense>_s<seed>/core<i>.trace (recording is invisible to
+// the run: simulated fields match a non-recording sweep byte for byte).
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -27,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -36,6 +49,7 @@
 #include "analysis/scaling_record.h"
 #include "sim/system_config.h"
 #include "workload/mixes.h"
+#include "workload/trace_codec.h"
 
 namespace {
 
@@ -46,11 +60,15 @@ struct Options {
   unsigned shard_threads = 0;       ///< 0 = serial engine inside each sim
   std::uint64_t epoch_ticks = 1024; ///< shard-engine barrier cadence
   unsigned mix_lo = 1, mix_hi = 10;
+  bool run_mixes = true;            ///< --no-mixes: trace scenarios only
   std::vector<DefenseKind> defenses;
   unsigned seeds = 1;
   std::uint64_t instr = 200'000;
   std::uint64_t ws_div = 16;
   std::string out;
+  std::vector<std::string> trace_paths;  ///< --trace, before expansion
+  std::string record_dir;                ///< --record (mix configs only)
+  TraceFormat record_format = TraceFormat::kTextV1;
 };
 
 DefenseKind parse_defense(const std::string& s) {
@@ -114,6 +132,18 @@ Options parse_args(int argc, char** argv) {
       o.ws_div = std::stoull(value());
     } else if (arg == "--out") {
       o.out = value();
+    } else if (arg == "--trace") {
+      o.trace_paths.push_back(value());
+    } else if (arg == "--no-mixes") {
+      o.run_mixes = false;
+    } else if (arg == "--record") {
+      o.record_dir = value();
+    } else if (arg == "--record-format") {
+      const auto fmt = parse_trace_format(value());
+      if (!fmt) {
+        throw std::invalid_argument("--record-format must be text|binary");
+      }
+      o.record_format = *fmt;
     } else {
       throw std::invalid_argument("unknown argument: " + arg);
     }
@@ -122,13 +152,87 @@ Options parse_args(int argc, char** argv) {
   if (o.mix_lo < 1 || o.mix_hi > num_mixes() || o.mix_lo > o.mix_hi) {
     throw std::invalid_argument("--mixes out of range 1..10");
   }
+  if (!o.run_mixes && o.trace_paths.empty()) {
+    throw std::invalid_argument("--no-mixes needs at least one --trace");
+  }
+  if (!o.run_mixes && !o.record_dir.empty()) {
+    // Only mix configurations are recorded (replays already *are*
+    // recordings); silently ignoring --record would look like a capture.
+    throw std::invalid_argument(
+        "--record applies to mix configurations; drop --no-mixes");
+  }
   return o;
 }
 
+/// A replayable scenario: a trace file or a directory of core<i>.trace
+/// files (the TraceCapture layout). Each --trace path expands to one
+/// scenario, or — when it is a directory without its own core files —
+/// to one scenario per subdirectory that has them.
+struct TraceScenario {
+  std::string name;  ///< label for the JSON record
+  std::string path;
+};
+
+/// Any core<i>.trace file marks a scenario directory — captures need
+/// not start at core 0 (assign_trace_scenario idle-fills gaps). The
+/// naming contract itself lives in analysis/perf_experiment.h.
+bool has_core_traces(const std::filesystem::path& dir) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (is_core_trace_name(entry.path().filename().string())) return true;
+  }
+  return false;
+}
+
+/// Scenario label for the JSON record: the last path component, robust
+/// to trailing slashes ("rec/scen/" must label as "scen", not "") so
+/// compare_replay_stats.py can key the record to its live counterpart.
+std::string scenario_name(const std::filesystem::path& p) {
+  std::string s = p.lexically_normal().string();
+  while (s.size() > 1 && s.back() == std::filesystem::path::preferred_separator) {
+    s.pop_back();
+  }
+  const std::string name = std::filesystem::path(s).filename().string();
+  return name.empty() || name == "." ? s : name;
+}
+
+std::vector<TraceScenario> expand_trace_paths(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<TraceScenario> out;
+  for (const std::string& p : paths) {
+    if (!fs::exists(p)) {
+      throw std::invalid_argument("--trace path does not exist: " + p);
+    }
+    if (!fs::is_directory(p) || has_core_traces(p)) {
+      out.push_back({scenario_name(p), p});
+      continue;
+    }
+    std::vector<TraceScenario> nested;
+    for (const auto& entry : fs::directory_iterator(p)) {
+      if (entry.is_directory() && has_core_traces(entry.path())) {
+        nested.push_back(
+            {entry.path().filename().string(), entry.path().string()});
+      }
+    }
+    if (nested.empty()) {
+      throw std::invalid_argument(
+          "--trace directory has no core<i>.trace files and no scenario "
+          "subdirectories: " + p);
+    }
+    std::sort(nested.begin(), nested.end(),
+              [](const TraceScenario& a, const TraceScenario& b) {
+                return a.name < b.name;
+              });
+    out.insert(out.end(), nested.begin(), nested.end());
+  }
+  return out;
+}
+
 struct Task {
-  unsigned mix;
+  unsigned mix;            ///< 0 for trace scenarios
   DefenseKind defense;
   std::uint64_t seed;
+  int trace = -1;          ///< index into the scenario list, or -1
 };
 
 struct TaskResult {
@@ -156,12 +260,24 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void emit(std::FILE* f, const TaskResult& t, bool last) {
+void emit(std::FILE* f, const TaskResult& t,
+          const std::vector<TraceScenario>& scenarios, bool last) {
+  // Trace scenarios identify themselves by name instead of mix number;
+  // the simulated fields are the same, so a replay record diffs cleanly
+  // against its live mix record (scripts/compare_replay_stats.py).
+  std::string id;
+  if (t.task.trace >= 0) {
+    id = "\"trace\": \"" +
+         json_escape(scenarios[static_cast<std::size_t>(t.task.trace)].name) +
+         "\"";
+  } else {
+    id = "\"mix\": " + std::to_string(t.task.mix);
+  }
   if (!t.error.empty()) {
     std::fprintf(f,
-                 "  {\"mix\": %u, \"defense\": \"%s\", \"seed\": %llu, "
+                 "  {%s, \"defense\": \"%s\", \"seed\": %llu, "
                  "\"error\": \"%s\"}%s\n",
-                 t.task.mix, to_string(t.task.defense),
+                 id.c_str(), to_string(t.task.defense),
                  static_cast<unsigned long long>(t.task.seed),
                  json_escape(t.error).c_str(), last ? "" : ",");
     return;
@@ -169,14 +285,14 @@ void emit(std::FILE* f, const TaskResult& t, bool last) {
   const System::Stats& s = t.r.stats;
   std::fprintf(
       f,
-      "  {\"mix\": %u, \"defense\": \"%s\", \"seed\": %llu, "
+      "  {%s, \"defense\": \"%s\", \"seed\": %llu, "
       "\"exec_time\": %llu, \"instructions\": %llu, "
       "\"prefetches\": %llu, \"captures\": %llu, "
       "\"false_positives_per_mi\": %.4f, "
       "\"l3_hits\": %llu, \"l3_misses\": %llu, "
       "\"back_invalidations\": %llu, \"writebacks\": %llu, "
       "\"wall_ms\": %.1f}%s\n",
-      t.task.mix, to_string(t.task.defense),
+      id.c_str(), to_string(t.task.defense),
       static_cast<unsigned long long>(t.task.seed),
       static_cast<unsigned long long>(t.r.exec_time),
       static_cast<unsigned long long>(t.r.instructions),
@@ -201,12 +317,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::vector<TraceScenario> scenarios;
   std::vector<Task> tasks;
-  for (unsigned mix = opt.mix_lo; mix <= opt.mix_hi; ++mix) {
-    for (DefenseKind kind : opt.defenses) {
-      for (unsigned s = 0; s < opt.seeds; ++s) {
-        tasks.push_back(Task{mix, kind, 42 + s});
+  try {
+    scenarios = expand_trace_paths(opt.trace_paths);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_runner: %s\n", e.what());
+    return 2;
+  }
+  if (opt.run_mixes) {
+    for (unsigned mix = opt.mix_lo; mix <= opt.mix_hi; ++mix) {
+      for (DefenseKind kind : opt.defenses) {
+        for (unsigned s = 0; s < opt.seeds; ++s) {
+          tasks.push_back(Task{mix, kind, 42 + s, -1});
+        }
       }
+    }
+  }
+  // Trace replay is deterministic — one run per (scenario, defense),
+  // no seed axis.
+  for (std::size_t t = 0; t < scenarios.size(); ++t) {
+    for (DefenseKind kind : opt.defenses) {
+      tasks.push_back(Task{0, kind, 42, static_cast<int>(t)});
     }
   }
 
@@ -226,8 +358,20 @@ int main(int argc, char** argv) {
         SystemConfig cfg = SystemConfig::with_defense(t.defense);
         cfg.shard_threads = opt.shard_threads;
         cfg.epoch_ticks = opt.epoch_ticks;
-        const MixPerfResult r =
-            run_mix_perf(t.mix, cfg, opt.instr, t.seed, opt.ws_div);
+        MixPerfResult r;
+        if (t.trace >= 0) {
+          r = run_trace_perf(
+              scenarios[static_cast<std::size_t>(t.trace)].path, cfg);
+        } else if (!opt.record_dir.empty()) {
+          const TraceCapture capture{
+              opt.record_dir + "/mix" + std::to_string(t.mix) + "_" +
+                  to_string(t.defense) + "_s" + std::to_string(t.seed),
+              opt.record_format};
+          r = run_mix_perf(t.mix, cfg, opt.instr, t.seed, opt.ws_div,
+                           &capture);
+        } else {
+          r = run_mix_perf(t.mix, cfg, opt.instr, t.seed, opt.ws_div);
+        }
         const auto t1 = std::chrono::steady_clock::now();
         results[i] = TaskResult{
             t, r, std::chrono::duration<double, std::milli>(t1 - t0).count(),
@@ -277,7 +421,8 @@ int main(int argc, char** argv) {
 
   std::fprintf(f, "[\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
-    emit(f, results[i], i + 1 == results.size() && scaling_json.empty());
+    emit(f, results[i], scenarios,
+         i + 1 == results.size() && scaling_json.empty());
   }
   if (!scaling_json.empty()) {
     std::fprintf(f, "  %s\n", scaling_json.c_str());

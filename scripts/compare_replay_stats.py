@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Diff the simulated fields of sweep_runner JSON outputs.
+
+Usage: scripts/compare_replay_stats.py baseline.json other.json...
+
+Each file is a sweep_runner output array. Records are reduced to their
+simulated fields — identity keys ("mix", "trace", "seed"), host timing
+("wall_ms") and the trailing {"scaling": ...} record are dropped — and
+compared against the baseline. This is how CI pins that a
+recorded-then-replayed mix reproduces the live run's stats
+byte-identically (docs/traces.md).
+
+Matching rules:
+
+* When every replay record's "trace" name follows the --record layout
+  (mix<M>_<defense>_s<SEED>), records are matched to the baseline by
+  (mix, defense, seed). Replays of a scenario under a defense other
+  than the one it was recorded with are skipped (they have no live
+  counterpart) — so the multi-mix, multi-defense record/replay recipe
+  diffs cleanly regardless of record order or the replay cross product.
+* Otherwise the files are compared record for record (requires equal
+  counts) — the mode for like-for-like sweeps and ad-hoc scenario
+  names.
+
+Exits non-zero naming the first mismatch.
+"""
+import json
+import re
+import sys
+
+IGNORED_KEYS = {"mix", "trace", "seed", "wall_ms"}
+RECORD_NAME = re.compile(r"^mix(\d+)_(.+)_s(\d+)$")
+
+
+def load_records(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    out = []
+    for rec in data:
+        if "scaling" in rec:
+            continue
+        if "error" in rec:
+            sys.exit(f"{path}: config failed: {rec}")
+        out.append(rec)
+    return out
+
+
+def simulated(rec):
+    return {k: v for k, v in rec.items() if k not in IGNORED_KEYS}
+
+
+def mix_key(rec):
+    """(mix, defense, seed) for a live mix record."""
+    return (rec["mix"], rec["defense"], rec["seed"])
+
+
+def trace_key(rec):
+    """(mix, defense, seed) parsed from a --record scenario name, or
+    None if the name is not in that layout or the record replays the
+    scenario under a different defense than it was recorded with."""
+    m = RECORD_NAME.match(rec.get("trace", ""))
+    if not m:
+        return None
+    if m.group(2) != rec["defense"]:
+        return ()  # cross-defense replay: skip, no live counterpart
+    return (int(m.group(1)), rec["defense"], int(m.group(3)))
+
+
+def fail(i, other_path, base_path, a, b):
+    diff = {k for k in a.keys() | b.keys() if a.get(k) != b.get(k)}
+    sys.exit(f"record {i}: {other_path} diverges from {base_path} "
+             f"on {sorted(diff)}:\n  base : {a}\n  other: {b}")
+
+
+def compare_keyed(base, other, base_path, other_path):
+    index = {}
+    for rec in base:
+        if "mix" not in rec:
+            sys.exit(f"{base_path}: keyed mode needs mix records as the "
+                     f"baseline, got {rec}")
+        index[mix_key(rec)] = simulated(rec)
+    matched = 0
+    for i, rec in enumerate(other):
+        key = trace_key(rec)
+        if key == ():
+            continue  # recorded under another defense
+        if key not in index:
+            sys.exit(f"{other_path}: record {i} ({rec.get('trace')!r}, "
+                     f"{rec['defense']}) has no baseline record in "
+                     f"{base_path}")
+        got = simulated(rec)
+        if got != index[key]:
+            fail(i, other_path, base_path, index[key], got)
+        matched += 1
+    if matched == 0:
+        sys.exit(f"{other_path}: no replay record matched a baseline "
+                 f"record")
+    print(f"{other_path}: {matched} replay record(s) byte-identical to "
+          f"{base_path}")
+
+
+def compare_positional(base, other, base_path, other_path):
+    if len(other) != len(base):
+        sys.exit(f"{other_path}: {len(other)} records, "
+                 f"{base_path} has {len(base)}")
+    for i, (a, b) in enumerate(zip(base, other)):
+        sa, sb = simulated(a), simulated(b)
+        if sa != sb:
+            fail(i, other_path, base_path, sa, sb)
+    print(f"{other_path}: {len(other)} record(s) byte-identical to "
+          f"{base_path}")
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    base_path = sys.argv[1]
+    base = load_records(base_path)
+    for other_path in sys.argv[2:]:
+        other = load_records(other_path)
+        if other and all("trace" in r and trace_key(r) is not None
+                         for r in other):
+            compare_keyed(base, other, base_path, other_path)
+        else:
+            compare_positional(base, other, base_path, other_path)
+
+
+if __name__ == "__main__":
+    main()

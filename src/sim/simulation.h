@@ -42,6 +42,20 @@ class Simulation {
     workloads_[core] = std::move(wl);
   }
 
+  /// Recorder hook: replaces `core`'s already-assigned workload with
+  /// `wrap(current)` — e.g. a TraceRecorder (workload/stream_trace.h)
+  /// capturing the stream the run consumes — without disturbing the
+  /// rest of the wiring. Call between set_workload() and run(); throws
+  /// std::logic_error if no workload is assigned.
+  template <typename Wrap>
+  void wrap_workload(CoreId core, Wrap&& wrap) {
+    if (core >= cfg_.num_cores) throw std::out_of_range("core id");
+    if (!workloads_[core]) {
+      throw std::logic_error("wrap_workload: core has no workload");
+    }
+    workloads_[core] = wrap(std::move(workloads_[core]));
+  }
+
   /// Runs until every core's workload finishes or `max_ticks` elapses.
   /// Returns the tick at which the last core finished (= overall
   /// execution time, the metric of Fig 8(a)).

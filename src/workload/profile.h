@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,8 +42,17 @@ struct BenchmarkProfile {
   double zipf_s = 0.8;        ///< skew of hot-region popularity
   std::uint32_t mean_gap = 3; ///< mean non-memory instructions per access
 
+  /// Rescales the three stream fractions to sum to 1. Throws
+  /// std::invalid_argument when they sum to zero (or below) — dividing
+  /// by it would yield NaN fractions that silently propagate into every
+  /// downstream draw.
   void normalize() {
     const double sum = frac_hot + frac_stream + frac_random;
+    if (!(sum > 0.0)) {
+      throw std::invalid_argument(
+          "BenchmarkProfile::normalize: frac_hot+frac_stream+frac_random "
+          "must be > 0 (profile \"" + name + "\")");
+    }
     frac_hot /= sum;
     frac_stream /= sum;
     frac_random /= sum;

@@ -1,0 +1,411 @@
+#include "workload/trace_codec.h"
+
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.h"
+
+namespace pipo {
+
+namespace {
+
+// Flag-byte layout (see the header diagram).
+constexpr std::uint8_t kTypeMask = 0x03;
+constexpr std::uint8_t kFlagBypass = 0x04;
+constexpr std::uint8_t kFlagNegDelta = 0x08;
+constexpr std::uint8_t kReservedMask = 0xF0;
+constexpr std::uint8_t kReservedType = 3;
+// A 64-bit LEB128 varint is at most 10 bytes, and the 10th carries only
+// the top bit (64 = 9*7 + 1).
+constexpr unsigned kMaxVarintBytes = 10;
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+bool all_hex(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+          (c >= 'A' && c <= 'F'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool all_dec(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+/// v1 type letter: uppercase plain, lowercase with bypass_private set —
+/// bypass is orthogonal to the access type, so all six combinations
+/// have distinct codes. 'P' (the pre-fix bypass-load spelling) is still
+/// parsed, and normalized to 'l' on save.
+char type_code(const MemRequest& r) {
+  char c = '?';
+  switch (r.type) {
+    case AccessType::kLoad: c = 'L'; break;
+    case AccessType::kStore: c = 'S'; break;
+    case AccessType::kInstFetch: c = 'I'; break;
+  }
+  if (r.bypass_private) c = static_cast<char>(c - 'A' + 'a');
+  return c;
+}
+
+bool parse_type_code(char c, MemRequest& r) {
+  switch (c) {
+    case 'L': r.type = AccessType::kLoad; break;
+    case 'S': r.type = AccessType::kStore; break;
+    case 'I': r.type = AccessType::kInstFetch; break;
+    case 'l': r.type = AccessType::kLoad; r.bypass_private = true; break;
+    case 's': r.type = AccessType::kStore; r.bypass_private = true; break;
+    case 'i': r.type = AccessType::kInstFetch; r.bypass_private = true; break;
+    case 'P': r.type = AccessType::kLoad; r.bypass_private = true; break;
+    default: return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(TraceFormat f) {
+  switch (f) {
+    case TraceFormat::kTextV1: return "text";
+    case TraceFormat::kBinaryV2: return "binary";
+  }
+  return "?";
+}
+
+std::optional<TraceFormat> parse_trace_format(const std::string& name) {
+  if (name == "text") return TraceFormat::kTextV1;
+  if (name == "binary") return TraceFormat::kBinaryV2;
+  return std::nullopt;
+}
+
+TraceFormat detect_trace_format(std::istream& is) {
+  const int c = is.peek();
+  return c == kTraceMagicV2[0] ? TraceFormat::kBinaryV2
+                               : TraceFormat::kTextV1;
+}
+
+// ------------------------------------------------------------- text v1
+
+TextTraceEncoder::TextTraceEncoder(std::ostream& os) : os_(os) {
+  os_ << "# pipomonitor trace v1: <hex addr> <L|S|I|l|s|i> <pre_delay>\n"
+      << "# lowercase = bypass_private (LLC-direct probe); legacy P = l\n";
+}
+
+void TextTraceEncoder::put(const MemRequest& r) {
+  os_ << std::hex << r.addr << std::dec << ' ' << type_code(r) << ' '
+      << r.pre_delay << '\n';
+  ++count_;
+}
+
+void TextTraceEncoder::finish() {
+  os_.flush();
+  // ostreams fail silently (badbit, no throw); a capture truncated by a
+  // full disk must not look like a successful recording.
+  if (!os_) throw std::runtime_error("trace write failed (text encoder)");
+}
+
+std::optional<MemRequest> TextTraceDecoder::next() {
+  while (std::getline(is_, line_)) {
+    ++line_no_;
+    if (line_.empty() || line_[0] == '#') continue;
+
+    // Split into whitespace-separated tokens by hand so sign characters
+    // can be rejected: unsigned stream extraction would silently wrap a
+    // "-5" pre_delay to ~4e9 cycles.
+    std::string tok[3];
+    std::size_t n_tok = 0;
+    std::size_t i = 0;
+    while (i < line_.size()) {
+      while (i < line_.size() && std::isspace(
+                 static_cast<unsigned char>(line_[i]))) {
+        ++i;
+      }
+      if (i >= line_.size()) break;
+      const std::size_t start = i;
+      while (i < line_.size() && !std::isspace(
+                 static_cast<unsigned char>(line_[i]))) {
+        ++i;
+      }
+      if (n_tok == 3) bad_line(line_no_, "trailing tokens: '" +
+                               line_.substr(start) + "'");
+      tok[n_tok++] = line_.substr(start, i - start);
+    }
+    if (n_tok == 0) continue;  // whitespace-only line
+    if (n_tok != 3) {
+      bad_line(line_no_, "expected '<hex addr> <L|S|I|l|s|i|P> <pre_delay>'");
+    }
+
+    MemRequest r;
+    // Accept an optional 0x prefix — the pre-PR-5 istream hex
+    // extraction did, and externally converted traces use it.
+    std::string hex = tok[0];
+    if (hex.size() > 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+      hex = hex.substr(2);
+    }
+    if (!all_hex(hex)) {
+      bad_line(line_no_, "bad hex address '" + tok[0] + "'");
+    }
+    try {
+      r.addr = std::stoull(hex, nullptr, 16);
+    } catch (const std::out_of_range&) {
+      bad_line(line_no_, "address out of range '" + tok[0] + "'");
+    }
+    if (tok[1].size() != 1 || !parse_type_code(tok[1][0], r)) {
+      bad_line(line_no_, "unknown access type '" + tok[1] + "'");
+    }
+    if (!all_dec(tok[2])) {
+      bad_line(line_no_, "bad pre_delay '" + tok[2] +
+                         "' (unsigned decimal required)");
+    }
+    unsigned long long delay = 0;
+    try {
+      delay = std::stoull(tok[2]);
+    } catch (const std::out_of_range&) {
+      bad_line(line_no_, "pre_delay out of range '" + tok[2] + "'");
+    }
+    if (delay > 0xFFFFFFFFull) {
+      bad_line(line_no_, "pre_delay out of range '" + tok[2] + "'");
+    }
+    r.pre_delay = static_cast<std::uint32_t>(delay);
+    ++count_;
+    return r;
+  }
+  // getline stops on badbit exactly like on EOF; only the latter is a
+  // clean end of trace.
+  if (is_.bad()) bad_line(line_no_ + 1, "stream read error");
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------- binary v2
+
+BinaryTraceEncoder::BinaryTraceEncoder(std::ostream& os,
+                                       std::size_t chunk_bytes)
+    : os_(os), chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {
+  buf_.reserve(chunk_bytes_);
+  // Through put_byte so the buffer honors its chunk bound even for
+  // chunk sizes smaller than the magic.
+  for (char c : kTraceMagicV2) put_byte(static_cast<std::uint8_t>(c));
+}
+
+void BinaryTraceEncoder::put_byte(std::uint8_t b) {
+  buf_.push_back(b);
+  if (buf_.size() >= chunk_bytes_) {
+    os_.write(reinterpret_cast<const char*>(buf_.data()),
+              static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
+}
+
+void BinaryTraceEncoder::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_byte(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_byte(static_cast<std::uint8_t>(v));
+}
+
+void BinaryTraceEncoder::put(const MemRequest& r) {
+  const LineAddr line = line_of(r.addr);
+  std::uint8_t flags = static_cast<std::uint8_t>(r.type) & kTypeMask;
+  if (r.bypass_private) flags |= kFlagBypass;
+  std::uint64_t delta;
+  if (line >= prev_line_) {
+    delta = line - prev_line_;
+  } else {
+    delta = prev_line_ - line;
+    flags |= kFlagNegDelta;
+  }
+  put_byte(flags);
+  put_varint(delta);
+  put_byte(static_cast<std::uint8_t>(r.addr & (kLineSizeBytes - 1)));
+  put_varint(r.pre_delay);
+  prev_line_ = line;
+  finished_ = false;
+  ++count_;
+}
+
+void BinaryTraceEncoder::finish() {
+  if (!buf_.empty()) {
+    os_.write(reinterpret_cast<const char*>(buf_.data()),
+              static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
+  if (!finished_) {
+    os_.flush();
+    finished_ = true;
+  }
+  // Sticky badbit from any earlier chunk write surfaces here — a
+  // silently truncated capture replays with plausible but wrong stats.
+  if (!os_) throw std::runtime_error("trace write failed (binary encoder)");
+}
+
+BinaryTraceDecoder::BinaryTraceDecoder(std::istream& is,
+                                       std::size_t chunk_bytes)
+    // No lower clamp beyond 1: tiny chunks are legal (slow), and the
+    // oracle tier leans on 1-byte refills to straddle every varint.
+    : is_(is), buf_(chunk_bytes == 0 ? 1 : chunk_bytes) {
+  for (char want : kTraceMagicV2) {
+    const int got = get_byte();
+    if (got < 0) bad("truncated magic (want \"PIPOTRC2\")");
+    if (got != static_cast<unsigned char>(want)) {
+      bad("bad magic (want \"PIPOTRC2\")");
+    }
+  }
+}
+
+void BinaryTraceDecoder::bad(const std::string& what) const {
+  throw std::invalid_argument("binary trace, byte " +
+                              std::to_string(consumed_) + ": " + what);
+}
+
+int BinaryTraceDecoder::get_byte() {
+  if (pos_ >= len_) {
+    is_.read(reinterpret_cast<char*>(buf_.data()),
+             static_cast<std::streamsize>(buf_.size()));
+    len_ = static_cast<std::size_t>(is_.gcount());
+    pos_ = 0;
+    if (len_ == 0) {
+      // An I/O error is not a clean end of trace — treating it as one
+      // would silently replay a prefix of the capture.
+      if (is_.bad()) bad("stream read error");
+      return -1;
+    }
+  }
+  ++consumed_;
+  return buf_[pos_++];
+}
+
+std::uint8_t BinaryTraceDecoder::need_byte(const char* what) {
+  const int b = get_byte();
+  if (b < 0) bad(std::string("truncated record (") + what + ")");
+  return static_cast<std::uint8_t>(b);
+}
+
+std::uint64_t BinaryTraceDecoder::read_varint(const char* what) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < kMaxVarintBytes; ++i) {
+    const std::uint8_t b = need_byte(what);
+    const std::uint64_t payload = b & 0x7F;
+    if (i == kMaxVarintBytes - 1 && payload > 1) {
+      bad(std::string(what) + ": varint overflows 64 bits");
+    }
+    v |= payload << (7 * i);
+    if (!(b & 0x80)) return v;
+  }
+  bad(std::string(what) + ": varint longer than 10 bytes");
+}
+
+std::optional<MemRequest> BinaryTraceDecoder::next() {
+  const int first = get_byte();
+  if (first < 0) return std::nullopt;  // clean end of trace
+
+  const std::uint8_t flags = static_cast<std::uint8_t>(first);
+  if (flags & kReservedMask) bad("reserved flag bits set");
+  if ((flags & kTypeMask) == kReservedType) bad("reserved access type 3");
+
+  MemRequest r;
+  r.type = static_cast<AccessType>(flags & kTypeMask);
+  r.bypass_private = (flags & kFlagBypass) != 0;
+
+  // Valid line addresses occupy 58 bits (byte addr >> 6); a delta that
+  // leaves [0, kMaxLine] cannot come from the encoder and must throw,
+  // not wrap into a garbage address.
+  constexpr LineAddr kMaxLine = ~Addr{0} >> kLineShift;
+  const std::uint64_t delta = read_varint("line delta");
+  LineAddr line;
+  if (flags & kFlagNegDelta) {
+    if (delta > prev_line_) bad("line delta underflows line 0");
+    line = prev_line_ - delta;
+  } else {
+    if (delta > kMaxLine - prev_line_) {
+      bad("line delta overflows the 58-bit line space");
+    }
+    line = prev_line_ + delta;
+  }
+  const std::uint8_t offset = need_byte("line offset");
+  if (offset >= kLineSizeBytes) bad("line offset >= 64");
+  r.addr = byte_of(line) | offset;
+
+  const std::uint64_t delay = read_varint("pre_delay");
+  if (delay > 0xFFFFFFFFull) bad("pre_delay overflows 32 bits");
+  r.pre_delay = static_cast<std::uint32_t>(delay);
+
+  prev_line_ = line;
+  ++count_;
+  return r;
+}
+
+// ------------------------------------------------- factories + helpers
+
+std::unique_ptr<TraceEncoder> make_trace_encoder(std::ostream& os,
+                                                 TraceFormat format) {
+  if (format == TraceFormat::kBinaryV2) {
+    return std::make_unique<BinaryTraceEncoder>(os);
+  }
+  return std::make_unique<TextTraceEncoder>(os);
+}
+
+std::unique_ptr<TraceDecoder> make_trace_decoder(std::istream& is,
+                                                 TraceFormat format) {
+  if (format == TraceFormat::kBinaryV2) {
+    return std::make_unique<BinaryTraceDecoder>(is);
+  }
+  return std::make_unique<TextTraceDecoder>(is);
+}
+
+std::unique_ptr<TraceDecoder> make_trace_decoder(std::istream& is) {
+  return make_trace_decoder(is, detect_trace_format(is));
+}
+
+void save_trace_v2(std::ostream& os, const std::vector<MemRequest>& trace) {
+  save_trace_as(os, trace, TraceFormat::kBinaryV2);
+}
+
+std::vector<MemRequest> load_trace_v2(std::istream& is) {
+  BinaryTraceDecoder dec(is);
+  std::vector<MemRequest> out;
+  while (auto r = dec.next()) out.push_back(*r);
+  return out;
+}
+
+void save_trace_as(std::ostream& os, const std::vector<MemRequest>& trace,
+                   TraceFormat format) {
+  const auto enc = make_trace_encoder(os, format);
+  for (const MemRequest& r : trace) enc->put(r);
+  enc->finish();
+}
+
+std::vector<MemRequest> load_trace_auto(std::istream& is) {
+  const auto dec = make_trace_decoder(is);
+  std::vector<MemRequest> out;
+  while (auto r = dec->next()) out.push_back(*r);
+  return out;
+}
+
+void save_trace_file_as(const std::string& path,
+                        const std::vector<MemRequest>& trace,
+                        TraceFormat format) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  save_trace_as(f, trace, format);
+}
+
+std::vector<MemRequest> load_trace_file_auto(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return load_trace_auto(f);
+}
+
+}  // namespace pipo

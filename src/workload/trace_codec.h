@@ -1,0 +1,207 @@
+// Trace codecs: the two on-disk request-stream formats and their
+// streaming encoder/decoder pairs.
+//
+// Text v1 (`trace_io.h`) is the human-readable import/export path — one
+// request per line, greppable, hand-editable. Binary v2 is the capture
+// format for production-scale traces (multi-gigabyte pin/gem5
+// conversions, recorded attack transcripts): a magic+version header
+// followed by compact records, decodable in O(chunk) memory.
+//
+// Binary v2 layout (all multi-byte integers are LEB128 varints,
+// little-endian base-128, at most 10 bytes):
+//
+//   offset 0: magic  "PIPOTRC2"  (8 bytes)
+//   then one record per request:
+//
+//     +--------+-----------------+--------+-------------------+
+//     | flags  | varint          | offset | varint            |
+//     | 1 byte | |line delta|    | 1 byte | pre_delay         |
+//     +--------+-----------------+--------+-------------------+
+//
+//     flags bit 0-1: AccessType (0 = load, 1 = store, 2 = inst fetch;
+//                    3 is reserved and rejected)
+//     flags bit 2:   bypass_private
+//     flags bit 3:   line delta is negative
+//     flags bit 4-7: reserved, must be zero
+//
+//   The line delta is line_of(addr) minus the previous record's line
+//   (starting from line 0); the offset byte holds addr & 63 and must be
+//   < 64. Every MemRequest field — including bypass_private crossed
+//   with all three access types — round-trips exactly.
+//
+// Malformed input (bad magic, truncated or overlong varint, reserved
+// flag bits, offset >= 64, pre_delay beyond 32 bits, EOF inside a
+// record) throws std::invalid_argument naming the absolute byte offset;
+// the text decoder names the line number (trace_io.h diagnostics).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/workload_if.h"
+
+namespace pipo {
+
+enum class TraceFormat : std::uint8_t {
+  kTextV1,    ///< line-per-request text (trace_io.h)
+  kBinaryV2,  ///< varint-delta binary records (this header)
+};
+
+const char* to_string(TraceFormat f);
+/// Inverse of to_string ("text" / "binary"); nullopt for anything else.
+/// The one name->format mapping the CLI flags share.
+std::optional<TraceFormat> parse_trace_format(const std::string& name);
+
+/// Sniffs the format from the first byte without consuming it: binary
+/// traces start with the magic's 'P', which can never begin a text
+/// trace line (those start with a hex digit, '#' or whitespace). The
+/// chosen decoder still validates the full header.
+TraceFormat detect_trace_format(std::istream& is);
+
+/// Incremental writer for one trace stream. The header is written on
+/// construction; finish() flushes buffered records, throws
+/// std::runtime_error if the sink stream failed (ostreams set badbit
+/// silently — a truncated capture must not look like a success), and is
+/// idempotent. Destructors flush too but swallow the error; call
+/// finish() explicitly to learn whether the capture is intact.
+class TraceEncoder {
+ public:
+  virtual ~TraceEncoder() = default;
+  virtual void put(const MemRequest& r) = 0;
+  virtual void finish() = 0;
+  /// Requests written so far.
+  std::uint64_t encoded() const { return count_; }
+
+ protected:
+  std::uint64_t count_ = 0;
+};
+
+/// Incremental reader for one trace stream. next() yields requests in
+/// order and nullopt at a clean end of trace; malformed input throws
+/// std::invalid_argument (see the header comment for diagnostics).
+class TraceDecoder {
+ public:
+  virtual ~TraceDecoder() = default;
+  virtual std::optional<MemRequest> next() = 0;
+  /// Requests decoded so far.
+  std::uint64_t decoded() const { return count_; }
+
+ protected:
+  std::uint64_t count_ = 0;
+};
+
+// ------------------------------------------------------------- text v1
+
+/// Writes the v1 header comment on construction, then one canonical
+/// line per put() (the exact form save_trace/load_trace round-trip).
+class TextTraceEncoder final : public TraceEncoder {
+ public:
+  explicit TextTraceEncoder(std::ostream& os);
+  void put(const MemRequest& r) override;
+  void finish() override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Line-at-a-time v1 parser; O(longest line) memory. Comments and blank
+/// lines are skipped; errors carry the 1-based line number.
+class TextTraceDecoder final : public TraceDecoder {
+ public:
+  explicit TextTraceDecoder(std::istream& is) : is_(is) {}
+  std::optional<MemRequest> next() override;
+  std::size_t line_no() const { return line_no_; }
+
+ private:
+  std::istream& is_;
+  std::string line_;
+  std::size_t line_no_ = 0;
+};
+
+// ----------------------------------------------------------- binary v2
+
+inline constexpr char kTraceMagicV2[8] = {'P', 'I', 'P', 'O',
+                                          'T', 'R', 'C', '2'};
+/// Default I/O chunk for the binary codec's internal byte buffer.
+inline constexpr std::size_t kTraceChunkBytes = 64 * 1024;
+
+class BinaryTraceEncoder final : public TraceEncoder {
+ public:
+  explicit BinaryTraceEncoder(std::ostream& os,
+                              std::size_t chunk_bytes = kTraceChunkBytes);
+  ~BinaryTraceEncoder() override {
+    try {
+      finish();
+    } catch (...) {  // destructors must not throw; see TraceEncoder docs
+    }
+  }
+  void put(const MemRequest& r) override;
+  void finish() override;
+
+ private:
+  void put_byte(std::uint8_t b);
+  void put_varint(std::uint64_t v);
+
+  std::ostream& os_;
+  std::vector<std::uint8_t> buf_;  ///< flushed at chunk_bytes_; never grows past it
+  std::size_t chunk_bytes_;
+  LineAddr prev_line_ = 0;
+  bool finished_ = false;
+};
+
+class BinaryTraceDecoder final : public TraceDecoder {
+ public:
+  /// `chunk_bytes` sizes the refill buffer — replay memory is O(chunk)
+  /// regardless of trace length. Validates the magic immediately.
+  explicit BinaryTraceDecoder(std::istream& is,
+                              std::size_t chunk_bytes = kTraceChunkBytes);
+  std::optional<MemRequest> next() override;
+  /// Absolute byte offset of the next unread byte (header included).
+  std::uint64_t byte_offset() const { return consumed_; }
+
+ private:
+  /// Next byte, refilling the chunk buffer; -1 at EOF.
+  int get_byte();
+  std::uint8_t need_byte(const char* what);
+  std::uint64_t read_varint(const char* what);
+  [[noreturn]] void bad(const std::string& what) const;
+
+  std::istream& is_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;   ///< next unread byte in buf_
+  std::size_t len_ = 0;   ///< valid bytes in buf_
+  std::uint64_t consumed_ = 0;
+  LineAddr prev_line_ = 0;
+};
+
+// ------------------------------------------------- factories + helpers
+
+std::unique_ptr<TraceEncoder> make_trace_encoder(std::ostream& os,
+                                                 TraceFormat format);
+std::unique_ptr<TraceDecoder> make_trace_decoder(std::istream& is,
+                                                 TraceFormat format);
+/// Autodetecting variant (detect_trace_format on the first byte).
+std::unique_ptr<TraceDecoder> make_trace_decoder(std::istream& is);
+
+/// Whole-trace convenience wrappers for the binary format, mirroring
+/// save_trace/load_trace (trace_io.h). Streams must be binary-mode.
+void save_trace_v2(std::ostream& os, const std::vector<MemRequest>& trace);
+std::vector<MemRequest> load_trace_v2(std::istream& is);
+
+/// Format-dispatching whole-trace wrappers; loading autodetects.
+void save_trace_as(std::ostream& os, const std::vector<MemRequest>& trace,
+                   TraceFormat format);
+std::vector<MemRequest> load_trace_auto(std::istream& is);
+/// File variants (binary-mode streams; throw std::runtime_error if the
+/// file cannot be opened).
+void save_trace_file_as(const std::string& path,
+                        const std::vector<MemRequest>& trace,
+                        TraceFormat format);
+std::vector<MemRequest> load_trace_file_auto(const std::string& path);
+
+}  // namespace pipo

@@ -1,66 +1,26 @@
 #include "workload/trace_io.h"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+
+#include "workload/trace_codec.h"
 
 namespace pipo {
 
-namespace {
-
-char type_code(const MemRequest& r) {
-  if (r.bypass_private) return 'P';
-  switch (r.type) {
-    case AccessType::kLoad: return 'L';
-    case AccessType::kStore: return 'S';
-    case AccessType::kInstFetch: return 'I';
-  }
-  return '?';
-}
-
-[[noreturn]] void bad_line(std::size_t line_no, const std::string& what) {
-  throw std::invalid_argument("trace line " + std::to_string(line_no) +
-                              ": " + what);
-}
-
-}  // namespace
+// The v1 grammar (including the bypass-letter fix and the sign-character
+// rejection) is implemented once, by the streaming text codec in
+// trace_codec.cpp; these wrappers keep the original whole-vector API.
 
 void save_trace(std::ostream& os, const std::vector<MemRequest>& trace) {
-  os << "# pipomonitor trace v1: <hex addr> <L|S|I|P> <pre_delay>\n";
-  for (const MemRequest& r : trace) {
-    os << std::hex << r.addr << std::dec << ' ' << type_code(r) << ' '
-       << r.pre_delay << '\n';
-  }
+  TextTraceEncoder enc(os);
+  for (const MemRequest& r : trace) enc.put(r);
+  enc.finish();
 }
 
 std::vector<MemRequest> load_trace(std::istream& is) {
+  TextTraceDecoder dec(is);
   std::vector<MemRequest> out;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ss(line);
-    MemRequest r;
-    char type = 0;
-    if (!(ss >> std::hex >> r.addr >> type >> std::dec >> r.pre_delay)) {
-      bad_line(line_no, "expected '<hex addr> <L|S|I|P> <pre_delay>'");
-    }
-    std::string rest;
-    if (ss >> rest) bad_line(line_no, "trailing tokens: '" + rest + "'");
-    switch (type) {
-      case 'L': r.type = AccessType::kLoad; break;
-      case 'S': r.type = AccessType::kStore; break;
-      case 'I': r.type = AccessType::kInstFetch; break;
-      case 'P':
-        r.type = AccessType::kLoad;
-        r.bypass_private = true;
-        break;
-      default:
-        bad_line(line_no, std::string("unknown access type '") + type + "'");
-    }
-    out.push_back(r);
-  }
+  while (auto r = dec.next()) out.push_back(*r);
   return out;
 }
 

@@ -1,16 +1,31 @@
-// Text trace format: record simulated request streams and replay them.
+// Text trace format v1: record simulated request streams and replay
+// them in a human-readable, hand-editable form.
 //
 // One request per line:
 //
-//     <hex byte address> <L|S|I|P> <pre_delay>
+//     <hex byte address> <L|S|I|l|s|i|P> <pre_delay>
 //
-// L = load, S = store, I = instruction fetch, P = LLC-direct probe load
-// (MemRequest::bypass_private). Lines starting with '#' and blank lines
-// are ignored. The format round-trips exactly: save(load(s)) == s.
+// L = load, S = store, I = instruction fetch; the lowercase letters are
+// the same access types with MemRequest::bypass_private set (LLC-direct
+// probe accesses) — bypass is encoded orthogonally to the type, so all
+// six field combinations round-trip exactly. 'P' is the legacy spelling
+// of a bypass load ('l') and is still parsed; save writes 'l'.
+// The address is hex with an optional 0x prefix; pre_delay is unsigned
+// decimal (sign characters are rejected — they used to wrap through
+// unsigned extraction). Lines starting with '#' and blank lines are
+// ignored.
+//
+// Fidelity contract: load(save(t)) == t for every trace t, and
+// save(load(s)) == s for every canonical trace (one produced by
+// save_trace; legacy 'P' and unusual spacing are normalized).
+// tests/workload/trace_io_test.cpp pins both directions.
 //
 // This is the bridge for driving the simulator with externally captured
 // address traces (e.g. converted pin/gem5 traces) instead of the
-// synthetic SPEC-like generators.
+// synthetic SPEC-like generators. For production-scale captures use the
+// compact binary v2 format and the streaming reader
+// (workload/trace_codec.h, workload/stream_trace.h); tools/trace_convert
+// translates between the two.
 #pragma once
 
 #include <istream>

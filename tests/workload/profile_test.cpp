@@ -39,6 +39,19 @@ TEST(Profile, MemoryIntensiveBenchmarksHaveLargeWorkingSets) {
   EXPECT_LE(spec_profile("gobmk").working_set_bytes, 1u << 20);
 }
 
+TEST(Profile, NormalizeRejectsAllZeroFractions) {
+  // Pre-fix behavior: dividing by the zero sum produced NaN fractions
+  // that silently propagated into every downstream draw.
+  BenchmarkProfile p;
+  p.name = "degenerate";
+  p.frac_hot = p.frac_stream = p.frac_random = 0.0;
+  EXPECT_THROW(p.normalize(), std::invalid_argument);
+  // The fractions must be untouched by the failed call (no partial NaN).
+  EXPECT_EQ(p.frac_hot, 0.0);
+  EXPECT_EQ(p.frac_stream, 0.0);
+  EXPECT_EQ(p.frac_random, 0.0);
+}
+
 TEST(Profile, HotRegionNeverExceedsWorkingSet) {
   for (const auto& name : spec_benchmarks()) {
     const BenchmarkProfile p = spec_profile(name);

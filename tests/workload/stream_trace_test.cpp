@@ -1,0 +1,175 @@
+// Streaming trace subsystem (workload/stream_trace.h): chunked replay
+// equals whole-vector replay for both formats, the chunk buffer stays
+// at its configured size on traces much larger than it (the O(chunk)
+// memory property — the ASan CI leg additionally watches this test for
+// leaks/overflows), and TraceRecorder captures exactly the stream the
+// simulation consumed.
+#include "workload/stream_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/profile.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace pipo {
+namespace {
+
+std::vector<MemRequest> random_trace(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MemRequest> t(n);
+  for (auto& r : t) {
+    r.addr = rng.next() & ((1ull << 48) - 1);
+    r.type = static_cast<AccessType>(rng.next() % 3);
+    r.bypass_private = (rng.next() & 3) == 0;
+    r.pre_delay = static_cast<std::uint32_t>(rng.next() & 1023);
+  }
+  return t;
+}
+
+std::unique_ptr<std::istream> encoded_stream(
+    const std::vector<MemRequest>& t, TraceFormat fmt) {
+  auto ss = std::make_unique<std::stringstream>();
+  save_trace_as(*ss, t, fmt);
+  return ss;
+}
+
+TEST(StreamingTrace, MatchesVectorReplayBothFormats) {
+  const auto t = random_trace(777, 1);
+  for (TraceFormat fmt : {TraceFormat::kTextV1, TraceFormat::kBinaryV2}) {
+    StreamingTraceWorkload streaming(encoded_stream(t, fmt),
+                                     /*chunk_requests=*/64);
+    TraceWorkload vec(t);
+    EXPECT_EQ(streaming.format(), fmt);
+    for (std::size_t i = 0;; ++i) {
+      const auto a = streaming.next(0);
+      const auto b = vec.next(0);
+      ASSERT_EQ(a.has_value(), b.has_value())
+          << to_string(fmt) << " req " << i;
+      if (!a) break;
+      EXPECT_EQ(a->addr, b->addr) << to_string(fmt) << " req " << i;
+      EXPECT_EQ(a->type, b->type) << to_string(fmt) << " req " << i;
+      EXPECT_EQ(a->pre_delay, b->pre_delay)
+          << to_string(fmt) << " req " << i;
+      EXPECT_EQ(a->bypass_private, b->bypass_private)
+          << to_string(fmt) << " req " << i;
+    }
+    EXPECT_EQ(streaming.replayed(), t.size());
+  }
+}
+
+// The O(chunk) property: a trace 100x larger than the chunk replays
+// fully while the request buffer's capacity never grows past the
+// configured chunk. (Run under the ASan CI leg, this also proves the
+// refill loop neither leaks nor overflows.)
+TEST(StreamingTrace, ChunkBufferStaysFixedOnLargeTrace) {
+  constexpr std::size_t kChunk = 64;
+  constexpr std::size_t kRequests = 100 * kChunk + 13;  // non-multiple
+  const auto t = random_trace(kRequests, 2);
+  for (TraceFormat fmt : {TraceFormat::kTextV1, TraceFormat::kBinaryV2}) {
+    StreamingTraceWorkload w(encoded_stream(t, fmt), kChunk);
+    std::size_t n = 0;
+    while (w.next(0)) {
+      ++n;
+      ASSERT_LE(w.chunk_capacity(), kChunk) << to_string(fmt);
+    }
+    EXPECT_EQ(n, kRequests) << to_string(fmt);
+    EXPECT_EQ(w.chunk_capacity(), kChunk) << to_string(fmt);
+  }
+}
+
+TEST(StreamingTrace, MalformedStreamThrowsFromNext) {
+  // chunk 1: the bad line is reached by the refill of the second next()
+  // (with a larger chunk the first refill would surface it immediately).
+  auto ss = std::make_unique<std::stringstream>("1000 L 0\nbogus\n");
+  StreamingTraceWorkload w(std::move(ss), 1);
+  EXPECT_TRUE(w.next(0).has_value());
+  EXPECT_THROW(w.next(0), std::invalid_argument);
+}
+
+TEST(StreamingTrace, MissingFileThrows) {
+  EXPECT_THROW(StreamingTraceWorkload("/nonexistent/trace.bin"),
+               std::runtime_error);
+}
+
+TEST(TraceRecorderTest, CapturesExactlyTheConsumedStream) {
+  const auto t = random_trace(200, 3);
+  for (TraceFormat fmt : {TraceFormat::kTextV1, TraceFormat::kBinaryV2}) {
+    auto sink = std::make_unique<std::stringstream>();
+    std::stringstream* sink_view = sink.get();
+    TraceRecorder rec(std::make_unique<TraceWorkload>(t), std::move(sink),
+                      fmt);
+    // Consume only half the stream: the capture must hold exactly the
+    // consumed prefix, not the whole inner workload.
+    for (std::size_t i = 0; i < t.size() / 2; ++i) {
+      const auto r = rec.next(0);
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(r->addr, t[i].addr) << i;
+    }
+    rec.finish();
+    EXPECT_EQ(rec.recorded(), t.size() / 2);
+    const auto captured = load_trace_auto(*sink_view);
+    ASSERT_EQ(captured.size(), t.size() / 2) << to_string(fmt);
+    for (std::size_t i = 0; i < captured.size(); ++i) {
+      EXPECT_EQ(captured[i].addr, t[i].addr) << i;
+      EXPECT_EQ(captured[i].type, t[i].type) << i;
+      EXPECT_EQ(captured[i].pre_delay, t[i].pre_delay) << i;
+      EXPECT_EQ(captured[i].bypass_private, t[i].bypass_private) << i;
+    }
+  }
+}
+
+TEST(TraceRecorderTest, ForwardsOnCompleteToInner) {
+  auto inner = std::make_unique<TraceWorkload>(random_trace(4, 4));
+  TraceWorkload* inner_view = inner.get();
+  TraceRecorder rec(std::move(inner),
+                    std::make_unique<std::stringstream>(),
+                    TraceFormat::kTextV1);
+  const auto r = rec.next(0);
+  ASSERT_TRUE(r.has_value());
+  rec.on_complete(*r, 10, 25);
+  ASSERT_EQ(inner_view->latencies().size(), 1u);
+  EXPECT_EQ(inner_view->latencies()[0], 15u);
+}
+
+// Snapshot-and-replay of a synthetic workload: the recorded stream
+// replays identically to a second, identically-seeded generator run.
+TEST(TraceRecorderTest, SyntheticSnapshotReplaysDeterministically) {
+  const BenchmarkProfile profile = spec_profile("mcf", 256);
+  constexpr std::uint64_t kBudget = 5000;
+  constexpr std::uint64_t kSeed = 99;
+  const Addr base = SyntheticWorkload::disjoint_base(0);
+
+  auto sink = std::make_unique<std::stringstream>();
+  std::stringstream* sink_view = sink.get();
+  TraceRecorder rec(
+      std::make_unique<SyntheticWorkload>(profile, base, kBudget, kSeed),
+      std::move(sink), TraceFormat::kBinaryV2);
+  while (rec.next(0)) {
+  }
+  rec.finish();
+
+  StreamingTraceWorkload replay(
+      std::make_unique<std::stringstream>(sink_view->str()), 32);
+  SyntheticWorkload fresh(profile, base, kBudget, kSeed);
+  for (std::size_t i = 0;; ++i) {
+    const auto a = replay.next(0);
+    const auto b = fresh.next(0);
+    ASSERT_EQ(a.has_value(), b.has_value()) << i;
+    if (!a) break;
+    EXPECT_EQ(a->addr, b->addr) << i;
+    EXPECT_EQ(a->type, b->type) << i;
+    EXPECT_EQ(a->pre_delay, b->pre_delay) << i;
+    EXPECT_EQ(a->bypass_private, b->bypass_private) << i;
+  }
+  EXPECT_EQ(replay.replayed(), rec.recorded());
+}
+
+}  // namespace
+}  // namespace pipo

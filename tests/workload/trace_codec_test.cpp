@@ -1,0 +1,321 @@
+// Unit tests for the trace codecs (workload/trace_codec.h): randomized
+// round-trip property over both formats (every MemRequest field
+// combination, >= 1000 cases) and the malformed-input tables for the
+// binary v2 decoder — every rejection names the absolute byte offset.
+#include "workload/trace_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pipo {
+namespace {
+
+MemRequest random_request(Rng& rng) {
+  MemRequest r;
+  // Full 48-bit physical space, all offsets; occasional extreme values.
+  switch (rng.next() % 8) {
+    case 0: r.addr = 0; break;
+    case 1: r.addr = (1ull << 48) - 1; break;
+    default: r.addr = rng.next() & ((1ull << 48) - 1); break;
+  }
+  r.type = static_cast<AccessType>(rng.next() % 3);
+  r.bypass_private = (rng.next() & 1) != 0;
+  switch (rng.next() % 8) {
+    case 0: r.pre_delay = 0; break;
+    case 1: r.pre_delay = 0xFFFFFFFFu; break;
+    default: r.pre_delay = static_cast<std::uint32_t>(rng.next()); break;
+  }
+  return r;
+}
+
+void expect_equal(const std::vector<MemRequest>& got,
+                  const std::vector<MemRequest>& want,
+                  const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].addr, want[i].addr) << label << " req " << i;
+    EXPECT_EQ(got[i].type, want[i].type) << label << " req " << i;
+    EXPECT_EQ(got[i].pre_delay, want[i].pre_delay) << label << " req " << i;
+    EXPECT_EQ(got[i].bypass_private, want[i].bypass_private)
+        << label << " req " << i;
+  }
+}
+
+std::vector<MemRequest> round_trip(const std::vector<MemRequest>& t,
+                                   TraceFormat fmt) {
+  std::stringstream ss;
+  save_trace_as(ss, t, fmt);
+  return load_trace_auto(ss);
+}
+
+// The randomized property of the ISSUE: >= 1000 randomized traces per
+// codec, every field combination, seed in the failure message.
+TEST(TraceCodec, RandomizedRoundTripProperty) {
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(seed * 2654435761u + 17);
+    std::vector<MemRequest> t(1 + rng.next() % 20);
+    for (auto& r : t) r = random_request(rng);
+    for (TraceFormat fmt : {TraceFormat::kTextV1, TraceFormat::kBinaryV2}) {
+      expect_equal(round_trip(t, fmt), t,
+                   std::string("seed ") + std::to_string(seed) + " " +
+                       to_string(fmt));
+    }
+  }
+}
+
+// Directed: all 6 type x bypass combinations through the binary codec
+// (the combinations v1's 'P' used to collapse).
+TEST(TraceCodec, BinaryAllTypeBypassCombinations) {
+  std::vector<MemRequest> t;
+  for (AccessType type : {AccessType::kLoad, AccessType::kStore,
+                          AccessType::kInstFetch}) {
+    for (bool bypass : {false, true}) {
+      MemRequest r;
+      r.addr = 0x123456789Aull + (t.size() << 6) + t.size();  // offsets too
+      r.type = type;
+      r.bypass_private = bypass;
+      r.pre_delay = static_cast<std::uint32_t>(t.size());
+      t.push_back(r);
+    }
+  }
+  expect_equal(round_trip(t, TraceFormat::kBinaryV2), t, "combinations");
+}
+
+TEST(TraceCodec, BinaryNegativeAndZeroLineDeltas) {
+  std::vector<MemRequest> t;
+  for (Addr a : {Addr{0x100000}, Addr{0x100}, Addr{0x100},  // back + same line
+                 Addr{0xFFFFFFFFFFC0}, Addr{0}}) {
+    MemRequest r;
+    r.addr = a;
+    t.push_back(r);
+  }
+  expect_equal(round_trip(t, TraceFormat::kBinaryV2), t, "deltas");
+}
+
+TEST(TraceCodec, EmptyTraceRoundTripsBothFormats) {
+  for (TraceFormat fmt : {TraceFormat::kTextV1, TraceFormat::kBinaryV2}) {
+    EXPECT_TRUE(round_trip({}, fmt).empty()) << to_string(fmt);
+  }
+}
+
+TEST(TraceCodec, DetectsFormatFromFirstByte) {
+  std::stringstream text;
+  save_trace_as(text, {MemRequest{}}, TraceFormat::kTextV1);
+  EXPECT_EQ(detect_trace_format(text), TraceFormat::kTextV1);
+  std::stringstream bin;
+  save_trace_as(bin, {MemRequest{}}, TraceFormat::kBinaryV2);
+  EXPECT_EQ(detect_trace_format(bin), TraceFormat::kBinaryV2);
+}
+
+TEST(TraceCodec, BinarySizeIsCompact) {
+  // 1000 sequential line-stride accesses: ~4 bytes/record in v2
+  // (flags + 1-byte varint + offset + 1-byte varint).
+  std::vector<MemRequest> t(1000);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i].addr = 0x10000 + (i << 6);
+    t[i].pre_delay = 3;
+  }
+  std::stringstream ss;
+  save_trace_as(ss, t, TraceFormat::kBinaryV2);
+  // 4 bytes per steady-state record; the first record's delta from line
+  // 0 takes one extra varint byte.
+  EXPECT_LE(ss.str().size(), sizeof(kTraceMagicV2) + 4 * t.size() + 1);
+}
+
+// ---------------------------------------------------- malformed inputs
+
+/// Expects decoding `bytes` to throw std::invalid_argument mentioning
+/// "byte <offset>"; returns the message for extra checks.
+std::string expect_bad_bytes(const std::string& bytes,
+                             std::uint64_t at_byte) {
+  std::istringstream is(bytes);
+  try {
+    // Constructor validates the magic; records are pulled afterwards.
+    BinaryTraceDecoder dec(is);
+    while (dec.next()) {
+    }
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("byte " + std::to_string(at_byte)),
+              std::string::npos)
+        << "message '" << msg << "' should name byte " << at_byte;
+    return msg;
+  }
+  ADD_FAILURE() << "expected invalid_argument for "
+                << testing::PrintToString(bytes);
+  return {};
+}
+
+std::string magic() { return std::string(kTraceMagicV2, 8); }
+
+TEST(TraceCodecMalformed, BadMagic) {
+  const std::string msg = expect_bad_bytes("PIPOTRC1", 8);
+  EXPECT_NE(msg.find("magic"), std::string::npos);
+}
+
+TEST(TraceCodecMalformed, TruncatedMagic) {
+  expect_bad_bytes("PIPO", 4);
+}
+
+TEST(TraceCodecMalformed, ReservedFlagBitsRejected) {
+  expect_bad_bytes(magic() + '\x10', 9);  // flag bit 4 set
+  expect_bad_bytes(magic() + '\x80', 9);
+}
+
+TEST(TraceCodecMalformed, ReservedAccessTypeRejected) {
+  const std::string msg = expect_bad_bytes(magic() + '\x03', 9);
+  EXPECT_NE(msg.find("type"), std::string::npos);
+}
+
+TEST(TraceCodecMalformed, TruncatedAfterFlags) {
+  // flags byte present, line-delta varint missing entirely.
+  expect_bad_bytes(magic() + '\x00', 9);
+}
+
+TEST(TraceCodecMalformed, TruncatedVarint) {
+  // Continuation bit set on the last available byte.
+  const std::string msg =
+      expect_bad_bytes(magic() + '\x00' + '\xFF', 10);
+  EXPECT_NE(msg.find("truncated"), std::string::npos);
+}
+
+TEST(TraceCodecMalformed, TruncatedBeforeOffsetByte) {
+  expect_bad_bytes(magic() + '\x00' + '\x05', 10);
+}
+
+TEST(TraceCodecMalformed, TruncatedBeforePreDelay) {
+  expect_bad_bytes(magic() + '\x00' + '\x05' + '\x00', 11);
+}
+
+TEST(TraceCodecMalformed, OffsetByteOutOfRange) {
+  const std::string msg =
+      expect_bad_bytes(magic() + '\x00' + '\x05' + '\x40', 11);
+  EXPECT_NE(msg.find("offset"), std::string::npos);
+}
+
+TEST(TraceCodecMalformed, OverlongVarintRejected) {
+  // 11 continuation bytes: longer than any 64-bit varint.
+  std::string bytes = magic() + '\x00';
+  for (int i = 0; i < 11; ++i) bytes += '\x81';
+  expect_bad_bytes(bytes, 19);  // rejected at the 10th varint byte
+}
+
+TEST(TraceCodecMalformed, VarintOverflow64Rejected) {
+  // 10 bytes whose 10th carries more than the top bit of a uint64.
+  std::string bytes = magic() + '\x00';
+  for (int i = 0; i < 9; ++i) bytes += '\x80';
+  bytes += '\x02';
+  const std::string msg = expect_bad_bytes(bytes, 19);
+  EXPECT_NE(msg.find("64"), std::string::npos);
+}
+
+TEST(TraceCodecMalformed, NegativeDeltaUnderflowRejected) {
+  // First record with the neg-delta flag and delta 5: would wrap below
+  // line 0 (prev_line starts at 0).
+  const std::string msg =
+      expect_bad_bytes(magic() + '\x08' + '\x05', 10);
+  EXPECT_NE(msg.find("underflow"), std::string::npos);
+}
+
+TEST(TraceCodecMalformed, PositiveDeltaOverflowRejected) {
+  // delta = 2^58 from line 0: one past the 58-bit line space.
+  std::string bytes = magic() + '\x00';
+  for (int i = 0; i < 8; ++i) bytes += '\x80';
+  bytes += '\x04';
+  const std::string msg = expect_bad_bytes(bytes, 18);
+  EXPECT_NE(msg.find("overflow"), std::string::npos);
+}
+
+TEST(TraceCodecMalformed, PreDelayOverflow32Rejected) {
+  // Valid flags/delta/offset, then pre_delay = 2^32.
+  const std::string pre_delay_2_32 = "\x80\x80\x80\x80\x10";
+  const std::string msg = expect_bad_bytes(
+      magic() + '\x00' + '\x05' + '\x00' + pre_delay_2_32, 16);
+  EXPECT_NE(msg.find("pre_delay"), std::string::npos);
+}
+
+TEST(TraceCodecMalformed, GarbageAfterValidRecordRejected) {
+  // One valid record, then a garbage flags byte: trailing garbage is
+  // caught at its exact offset.
+  std::stringstream good;
+  save_trace_as(good, {MemRequest{}}, TraceFormat::kBinaryV2);
+  const std::string valid = good.str();  // magic + 4-byte record
+  ASSERT_EQ(valid.size(), 12u);
+  expect_bad_bytes(valid + '\xF0', 13);
+}
+
+TEST(TraceCodec, ByteOffsetTracksConsumption) {
+  std::stringstream ss;
+  save_trace_as(ss, {MemRequest{}, MemRequest{}}, TraceFormat::kBinaryV2);
+  BinaryTraceDecoder dec(ss);
+  EXPECT_EQ(dec.byte_offset(), 8u);  // magic consumed on construction
+  ASSERT_TRUE(dec.next().has_value());
+  EXPECT_EQ(dec.byte_offset(), 12u);
+  ASSERT_TRUE(dec.next().has_value());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.decoded(), 2u);
+}
+
+// A failed sink write (full disk: ostream sets badbit silently) must
+// surface from finish(), not return as a successful capture.
+TEST(TraceCodec, EncoderFinishThrowsOnFailedSink) {
+  for (TraceFormat fmt : {TraceFormat::kTextV1, TraceFormat::kBinaryV2}) {
+    std::stringstream ss;
+    const auto enc = make_trace_encoder(ss, fmt);
+    enc->put(MemRequest{});
+    ss.setstate(std::ios::badbit);
+    EXPECT_THROW(enc->finish(), std::runtime_error) << to_string(fmt);
+  }
+}
+
+// A stream read error is not a clean end of trace: both decoders must
+// throw instead of silently truncating the replay.
+TEST(TraceCodec, DecodersThrowOnStreamReadError) {
+  {
+    std::stringstream ss;
+    save_trace_as(ss, {MemRequest{}, MemRequest{}}, TraceFormat::kTextV1);
+    TextTraceDecoder dec(ss);
+    ASSERT_TRUE(dec.next().has_value());
+    ss.setstate(std::ios::badbit);
+    EXPECT_THROW(dec.next(), std::invalid_argument);
+  }
+  {
+    std::stringstream ss;
+    save_trace_as(ss, std::vector<MemRequest>(100),
+                  TraceFormat::kBinaryV2);
+    BinaryTraceDecoder dec(ss, /*chunk_bytes=*/16);
+    ASSERT_TRUE(dec.next().has_value());
+    ss.setstate(std::ios::badbit);
+    // The next refill (within a few records at this chunk size) must
+    // report the error.
+    EXPECT_THROW(
+        {
+          while (dec.next()) {
+          }
+        },
+        std::invalid_argument);
+  }
+}
+
+// The v1 malformed-input diagnostics still carry line numbers when
+// reached through the autodetecting decoder.
+TEST(TraceCodecMalformed, AutodetectedTextStillNamesLines) {
+  std::istringstream is("1000 L 0\n1000 Z 0\n");
+  const auto dec = make_trace_decoder(is);
+  ASSERT_TRUE(dec->next().has_value());
+  try {
+    dec->next();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pipo

@@ -29,6 +29,25 @@ std::vector<MemRequest> sample_trace() {
   return t;
 }
 
+/// All 6 (type x bypass) combinations — including the bypass store and
+/// bypass inst-fetch the pre-fix 'P' encoding collapsed to bypass load.
+std::vector<MemRequest> all_combinations() {
+  std::vector<MemRequest> t;
+  std::uint32_t delay = 0;
+  for (AccessType type : {AccessType::kLoad, AccessType::kStore,
+                          AccessType::kInstFetch}) {
+    for (bool bypass : {false, true}) {
+      MemRequest r;
+      r.addr = 0x4000 + (t.size() << 6);
+      r.type = type;
+      r.bypass_private = bypass;
+      r.pre_delay = delay++;
+      t.push_back(r);
+    }
+  }
+  return t;
+}
+
 TEST(TraceIo, RoundTripsExactly) {
   const auto t = sample_trace();
   std::stringstream ss;
@@ -59,6 +78,83 @@ TEST(TraceIo, ProbeLinesSetBypass) {
   ASSERT_EQ(t.size(), 1u);
   EXPECT_TRUE(t[0].bypass_private);
   EXPECT_EQ(t[0].type, AccessType::kLoad);
+}
+
+// The headline contract fix: bypass_private is encoded orthogonally to
+// the access type (lowercase letters), so a bypass store or bypass
+// inst-fetch no longer reloads as a bypass *load*.
+TEST(TraceIo, AllTypeBypassCombinationsRoundTrip) {
+  const auto t = all_combinations();
+  std::stringstream ss;
+  save_trace(ss, t);
+  const auto back = load_trace(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i].addr, t[i].addr) << i;
+    EXPECT_EQ(back[i].type, t[i].type) << i;
+    EXPECT_EQ(back[i].pre_delay, t[i].pre_delay) << i;
+    EXPECT_EQ(back[i].bypass_private, t[i].bypass_private) << i;
+  }
+}
+
+TEST(TraceIo, LowercaseLettersParseAsBypass) {
+  std::stringstream ss("1000 l 0\n2000 s 1\n3000 i 2\n");
+  const auto t = load_trace(ss);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].type, AccessType::kLoad);
+  EXPECT_EQ(t[1].type, AccessType::kStore);
+  EXPECT_EQ(t[2].type, AccessType::kInstFetch);
+  for (const auto& r : t) EXPECT_TRUE(r.bypass_private);
+}
+
+// save(load(s)) == s for canonical traces: what save wrote reparses and
+// re-saves byte-identically (legacy 'P' is normalized to 'l', so it is
+// canonical only after one round).
+TEST(TraceIo, CanonicalTextIsAFixedPoint) {
+  std::stringstream first;
+  save_trace(first, all_combinations());
+  const std::string canonical = first.str();
+  std::stringstream in(canonical), second;
+  save_trace(second, load_trace(in));
+  EXPECT_EQ(second.str(), canonical);
+}
+
+TEST(TraceIo, RejectsNegativePreDelay) {
+  // Pre-fix behavior: unsigned extraction wrapped "-5" to ~4e9 cycles.
+  std::stringstream ss("1000 L -5\n");
+  try {
+    load_trace(ss);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, RejectsPlusSignAndOverflowPreDelay) {
+  std::stringstream plus("1000 L +5\n");
+  EXPECT_THROW(load_trace(plus), std::invalid_argument);
+  std::stringstream overflow("1000 L 4294967296\n");  // 2^32
+  EXPECT_THROW(load_trace(overflow), std::invalid_argument);
+  std::stringstream max("1000 L 4294967295\n");  // 2^32 - 1 is fine
+  EXPECT_EQ(load_trace(max).at(0).pre_delay, 0xFFFFFFFFu);
+}
+
+TEST(TraceIo, RejectsNegativeAddress) {
+  std::stringstream ss("-1000 L 5\n");
+  EXPECT_THROW(load_trace(ss), std::invalid_argument);
+}
+
+// The pre-PR-5 istream hex extraction accepted a 0x prefix; externally
+// converted traces use it, so the hand-rolled parser must too.
+TEST(TraceIo, AcceptsOptionalHexPrefix) {
+  std::stringstream ss("0x1A40 L 0\n0XFF S 2\n");
+  const auto t = load_trace(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x1A40u);
+  EXPECT_EQ(t[1].addr, 0xFFu);
+  std::stringstream bare_x("x40 L 0\n");
+  EXPECT_THROW(load_trace(bare_x), std::invalid_argument);
 }
 
 TEST(TraceIo, RejectsUnknownType) {
