@@ -8,11 +8,17 @@
 // configuration (an array on stdout or --out FILE), ready for BENCH_*.json
 // trajectory tracking.
 //
+// The campaign itself — enumeration order, per-config execution, record
+// rendering — lives in src/fabric/campaign.h, shared with the distributed
+// sweep fabric (tools/pipo_coordinator.cpp): a fabric campaign run with
+// the same flags merges to bytes identical to this runner under
+// --deterministic.
+//
 // Usage:
 //   sweep_runner [--threads N] [--shard-threads S] [--epoch-ticks E]
 //                [--mixes 1-10] [--defenses all|none,pipo,...]
 //                [--seeds K] [--instr M] [--ws-div D] [--out FILE]
-//                [--trace PATH]... [--no-mixes]
+//                [--trace PATH]... [--no-mixes] [--deterministic]
 //                [--record DIR] [--record-format text|binary]
 //
 // --threads parallelizes *across* configurations (one Simulation per
@@ -21,7 +27,14 @@
 // byte-identical across both knobs. On hosts with more than one hardware
 // thread the JSON array ends with a {"scaling": ...} record ready for
 // BENCH_engine.json (docs/benchmarks.md); single-threaded hosts omit it
-// (analysis/scaling_record.h).
+// (analysis/scaling_record.h). --deterministic strips the two host-timing
+// artifacts (per-config wall_ms and the scaling record) so outputs are
+// byte-comparable across runs, hosts and --threads values — the fabric
+// equivalence oracle diffs against exactly this mode.
+//
+// A configuration that throws becomes a structured
+// {"config": N, ..., "error": "..."} record instead of killing the sweep;
+// the run still exits nonzero so CI notices.
 //
 // Recorded traces run as sweep scenarios alongside the mixes
 // (docs/traces.md): each --trace PATH is a trace file (drives core 0),
@@ -34,22 +47,17 @@
 // the run: simulated fields match a non-recording sweep byte for byte).
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <chrono>
-#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "analysis/perf_experiment.h"
 #include "analysis/scaling_record.h"
-#include "sim/system_config.h"
-#include "workload/mixes.h"
-#include "workload/trace_codec.h"
+#include "common/parse_num.h"
+#include "fabric/campaign.h"
 
 namespace {
 
@@ -57,40 +65,15 @@ using namespace pipo;
 
 struct Options {
   unsigned threads = std::thread::hardware_concurrency();
-  unsigned shard_threads = 0;       ///< 0 = serial engine inside each sim
-  std::uint64_t epoch_ticks = 1024; ///< shard-engine barrier cadence
-  unsigned mix_lo = 1, mix_hi = 10;
-  bool run_mixes = true;            ///< --no-mixes: trace scenarios only
-  std::vector<DefenseKind> defenses;
-  unsigned seeds = 1;
-  std::uint64_t instr = 200'000;
-  std::uint64_t ws_div = 16;
+  bool deterministic = false;  ///< omit wall_ms + scaling (host timing)
   std::string out;
   std::vector<std::string> trace_paths;  ///< --trace, before expansion
-  std::string record_dir;                ///< --record (mix configs only)
-  TraceFormat record_format = TraceFormat::kTextV1;
+  CampaignSpec spec;
 };
-
-DefenseKind parse_defense(const std::string& s) {
-  if (s == "none") return DefenseKind::kNone;
-  if (s == "pipo") return DefenseKind::kPiPoMonitor;
-  if (s == "dir") return DefenseKind::kDirectoryMonitor;
-  if (s == "sharp") return DefenseKind::kSharp;
-  if (s == "bitp") return DefenseKind::kBitp;
-  if (s == "ric") return DefenseKind::kRic;
-  throw std::invalid_argument("unknown defense: " + s +
-                              " (none|pipo|dir|sharp|bitp|ric)");
-}
-
-std::vector<DefenseKind> all_defenses() {
-  return {DefenseKind::kNone,  DefenseKind::kPiPoMonitor,
-          DefenseKind::kDirectoryMonitor, DefenseKind::kSharp,
-          DefenseKind::kBitp,  DefenseKind::kRic};
-}
 
 Options parse_args(int argc, char** argv) {
   Options o;
-  o.defenses = all_defenses();
+  o.spec.defenses = all_defenses();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -98,294 +81,86 @@ Options parse_args(int argc, char** argv) {
       return argv[i];
     };
     if (arg == "--threads") {
-      o.threads = static_cast<unsigned>(std::stoul(value()));
+      o.threads = parse_uint32(value(), "--threads", 0, 4096);
     } else if (arg == "--shard-threads") {
-      o.shard_threads = static_cast<unsigned>(std::stoul(value()));
+      o.spec.shard_threads = parse_uint32(value(), "--shard-threads", 0, 64);
     } else if (arg == "--epoch-ticks") {
-      o.epoch_ticks = std::stoull(value());
+      o.spec.epoch_ticks = parse_uint(value(), "--epoch-ticks", 1);
     } else if (arg == "--mixes") {
       const std::string v = value();
       const auto dash = v.find('-');
       if (dash == std::string::npos) {
-        o.mix_lo = o.mix_hi = static_cast<unsigned>(std::stoul(v));
+        o.spec.mix_lo = o.spec.mix_hi = parse_uint32(v, "--mixes", 1);
       } else {
-        o.mix_lo = static_cast<unsigned>(std::stoul(v.substr(0, dash)));
-        o.mix_hi = static_cast<unsigned>(std::stoul(v.substr(dash + 1)));
+        o.spec.mix_lo = parse_uint32(v.substr(0, dash), "--mixes", 1);
+        o.spec.mix_hi = parse_uint32(v.substr(dash + 1), "--mixes", 1);
       }
     } else if (arg == "--defenses") {
-      const std::string v = value();
-      if (v == "all") continue;
-      o.defenses.clear();
-      std::size_t start = 0;
-      while (start <= v.size()) {
-        const auto comma = v.find(',', start);
-        const auto end = comma == std::string::npos ? v.size() : comma;
-        o.defenses.push_back(parse_defense(v.substr(start, end - start)));
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
+      o.spec.defenses = parse_defense_list(value());
     } else if (arg == "--seeds") {
-      o.seeds = static_cast<unsigned>(std::stoul(value()));
+      o.spec.seeds = parse_uint32(value(), "--seeds", 1);
     } else if (arg == "--instr") {
-      o.instr = std::stoull(value());
+      o.spec.instr = parse_uint(value(), "--instr", 1);
     } else if (arg == "--ws-div") {
-      o.ws_div = std::stoull(value());
+      o.spec.ws_div = parse_uint(value(), "--ws-div", 1);
     } else if (arg == "--out") {
       o.out = value();
     } else if (arg == "--trace") {
       o.trace_paths.push_back(value());
     } else if (arg == "--no-mixes") {
-      o.run_mixes = false;
+      o.spec.run_mixes = false;
+    } else if (arg == "--deterministic") {
+      o.deterministic = true;
     } else if (arg == "--record") {
-      o.record_dir = value();
+      o.spec.record_dir = value();
     } else if (arg == "--record-format") {
       const auto fmt = parse_trace_format(value());
       if (!fmt) {
         throw std::invalid_argument("--record-format must be text|binary");
       }
-      o.record_format = *fmt;
+      o.spec.record_format = *fmt;
     } else {
       throw std::invalid_argument("unknown argument: " + arg);
     }
   }
   if (o.threads == 0) o.threads = 1;
-  if (o.mix_lo < 1 || o.mix_hi > num_mixes() || o.mix_lo > o.mix_hi) {
-    throw std::invalid_argument("--mixes out of range 1..10");
-  }
-  if (!o.run_mixes && o.trace_paths.empty()) {
-    throw std::invalid_argument("--no-mixes needs at least one --trace");
-  }
-  if (!o.run_mixes && !o.record_dir.empty()) {
-    // Only mix configurations are recorded (replays already *are*
-    // recordings); silently ignoring --record would look like a capture.
-    throw std::invalid_argument(
-        "--record applies to mix configurations; drop --no-mixes");
-  }
   return o;
-}
-
-/// A replayable scenario: a trace file or a directory of core<i>.trace
-/// files (the TraceCapture layout). Each --trace path expands to one
-/// scenario, or — when it is a directory without its own core files —
-/// to one scenario per subdirectory that has them.
-struct TraceScenario {
-  std::string name;  ///< label for the JSON record
-  std::string path;
-};
-
-/// Any core<i>.trace file marks a scenario directory — captures need
-/// not start at core 0 (assign_trace_scenario idle-fills gaps). The
-/// naming contract itself lives in analysis/perf_experiment.h.
-bool has_core_traces(const std::filesystem::path& dir) {
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (is_core_trace_name(entry.path().filename().string())) return true;
-  }
-  return false;
-}
-
-/// Scenario label for the JSON record: the last path component, robust
-/// to trailing slashes ("rec/scen/" must label as "scen", not "") so
-/// compare_replay_stats.py can key the record to its live counterpart.
-std::string scenario_name(const std::filesystem::path& p) {
-  std::string s = p.lexically_normal().string();
-  while (s.size() > 1 && s.back() == std::filesystem::path::preferred_separator) {
-    s.pop_back();
-  }
-  const std::string name = std::filesystem::path(s).filename().string();
-  return name.empty() || name == "." ? s : name;
-}
-
-std::vector<TraceScenario> expand_trace_paths(
-    const std::vector<std::string>& paths) {
-  namespace fs = std::filesystem;
-  std::vector<TraceScenario> out;
-  for (const std::string& p : paths) {
-    if (!fs::exists(p)) {
-      throw std::invalid_argument("--trace path does not exist: " + p);
-    }
-    if (!fs::is_directory(p) || has_core_traces(p)) {
-      out.push_back({scenario_name(p), p});
-      continue;
-    }
-    std::vector<TraceScenario> nested;
-    for (const auto& entry : fs::directory_iterator(p)) {
-      if (entry.is_directory() && has_core_traces(entry.path())) {
-        nested.push_back(
-            {entry.path().filename().string(), entry.path().string()});
-      }
-    }
-    if (nested.empty()) {
-      throw std::invalid_argument(
-          "--trace directory has no core<i>.trace files and no scenario "
-          "subdirectories: " + p);
-    }
-    std::sort(nested.begin(), nested.end(),
-              [](const TraceScenario& a, const TraceScenario& b) {
-                return a.name < b.name;
-              });
-    out.insert(out.end(), nested.begin(), nested.end());
-  }
-  return out;
-}
-
-struct Task {
-  unsigned mix;            ///< 0 for trace scenarios
-  DefenseKind defense;
-  std::uint64_t seed;
-  int trace = -1;          ///< index into the scenario list, or -1
-};
-
-struct TaskResult {
-  Task task;
-  MixPerfResult r;
-  double wall_ms = 0;
-  std::string error;  ///< non-empty: the config failed instead of running
-};
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-void emit(std::FILE* f, const TaskResult& t,
-          const std::vector<TraceScenario>& scenarios, bool last) {
-  // Trace scenarios identify themselves by name instead of mix number;
-  // the simulated fields are the same, so a replay record diffs cleanly
-  // against its live mix record (scripts/compare_replay_stats.py).
-  std::string id;
-  if (t.task.trace >= 0) {
-    id = "\"trace\": \"" +
-         json_escape(scenarios[static_cast<std::size_t>(t.task.trace)].name) +
-         "\"";
-  } else {
-    id = "\"mix\": " + std::to_string(t.task.mix);
-  }
-  if (!t.error.empty()) {
-    std::fprintf(f,
-                 "  {%s, \"defense\": \"%s\", \"seed\": %llu, "
-                 "\"error\": \"%s\"}%s\n",
-                 id.c_str(), to_string(t.task.defense),
-                 static_cast<unsigned long long>(t.task.seed),
-                 json_escape(t.error).c_str(), last ? "" : ",");
-    return;
-  }
-  const System::Stats& s = t.r.stats;
-  std::fprintf(
-      f,
-      "  {%s, \"defense\": \"%s\", \"seed\": %llu, "
-      "\"exec_time\": %llu, \"instructions\": %llu, "
-      "\"prefetches\": %llu, \"captures\": %llu, "
-      "\"false_positives_per_mi\": %.4f, "
-      "\"l3_hits\": %llu, \"l3_misses\": %llu, "
-      "\"back_invalidations\": %llu, \"writebacks\": %llu, "
-      "\"wall_ms\": %.1f}%s\n",
-      id.c_str(), to_string(t.task.defense),
-      static_cast<unsigned long long>(t.task.seed),
-      static_cast<unsigned long long>(t.r.exec_time),
-      static_cast<unsigned long long>(t.r.instructions),
-      static_cast<unsigned long long>(t.r.prefetches),
-      static_cast<unsigned long long>(t.r.captures),
-      t.r.false_positives_per_mi,
-      static_cast<unsigned long long>(s.l3_hits),
-      static_cast<unsigned long long>(s.l3_misses),
-      static_cast<unsigned long long>(s.back_invalidations),
-      static_cast<unsigned long long>(s.writebacks), t.wall_ms,
-      last ? "" : ",");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
+  std::vector<ConfigKey> keys;
   try {
     opt = parse_args(argc, argv);
+    opt.spec.scenarios = expand_trace_paths(opt.trace_paths);
+    opt.spec.validate();
+    keys = enumerate_campaign(opt.spec);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep_runner: %s\n", e.what());
     return 2;
   }
 
-  std::vector<TraceScenario> scenarios;
-  std::vector<Task> tasks;
-  try {
-    scenarios = expand_trace_paths(opt.trace_paths);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "sweep_runner: %s\n", e.what());
-    return 2;
-  }
-  if (opt.run_mixes) {
-    for (unsigned mix = opt.mix_lo; mix <= opt.mix_hi; ++mix) {
-      for (DefenseKind kind : opt.defenses) {
-        for (unsigned s = 0; s < opt.seeds; ++s) {
-          tasks.push_back(Task{mix, kind, 42 + s, -1});
-        }
-      }
-    }
-  }
-  // Trace replay is deterministic — one run per (scenario, defense),
-  // no seed axis.
-  for (std::size_t t = 0; t < scenarios.size(); ++t) {
-    for (DefenseKind kind : opt.defenses) {
-      tasks.push_back(Task{0, kind, 42, static_cast<int>(t)});
-    }
-  }
-
-  std::vector<TaskResult> results(tasks.size());
+  // Results are indexed by config id, so the output order (and the
+  // record bytes, under --deterministic) is identical at any --threads.
+  std::vector<ConfigResult> results(keys.size());
   std::atomic<std::size_t> next{0};
   const auto sweep_start = std::chrono::steady_clock::now();
 
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) return;
-      const Task& t = tasks[i];
-      const auto t0 = std::chrono::steady_clock::now();
-      // An escaping exception would std::terminate the whole sweep;
-      // record per-config failures and keep the other results instead.
-      try {
-        SystemConfig cfg = SystemConfig::with_defense(t.defense);
-        cfg.shard_threads = opt.shard_threads;
-        cfg.epoch_ticks = opt.epoch_ticks;
-        MixPerfResult r;
-        if (t.trace >= 0) {
-          r = run_trace_perf(
-              scenarios[static_cast<std::size_t>(t.trace)].path, cfg);
-        } else if (!opt.record_dir.empty()) {
-          const TraceCapture capture{
-              opt.record_dir + "/mix" + std::to_string(t.mix) + "_" +
-                  to_string(t.defense) + "_s" + std::to_string(t.seed),
-              opt.record_format};
-          r = run_mix_perf(t.mix, cfg, opt.instr, t.seed, opt.ws_div,
-                           &capture);
-        } else {
-          r = run_mix_perf(t.mix, cfg, opt.instr, t.seed, opt.ws_div);
-        }
-        const auto t1 = std::chrono::steady_clock::now();
-        results[i] = TaskResult{
-            t, r, std::chrono::duration<double, std::milli>(t1 - t0).count(),
-            {}};
-      } catch (const std::exception& e) {
-        results[i] = TaskResult{t, {}, 0, e.what()};
-      } catch (...) {
-        results[i] = TaskResult{t, {}, 0, "unknown error"};
-      }
+      if (i >= keys.size()) return;
+      // Per-config exceptions become structured error records inside
+      // run_campaign_config; an escaping exception would std::terminate
+      // the whole sweep.
+      results[i] = run_campaign_config(opt.spec, i, keys[i]);
     }
   };
 
   const unsigned n_threads =
-      static_cast<unsigned>(std::min<std::size_t>(opt.threads, tasks.size()));
+      static_cast<unsigned>(std::min<std::size_t>(opt.threads, keys.size()));
   std::vector<std::thread> pool;
   pool.reserve(n_threads);
   for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
@@ -405,40 +180,41 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  // Thread-scaling record, only on hosts that can demonstrate scaling
-  // (see analysis/scaling_record.h for the single-core fallback rule).
-  std::size_t succeeded = 0;
-  for (const TaskResult& r : results) succeeded += r.error.empty() ? 1 : 0;
-  SweepScaling scaling;
-  scaling.hw_threads = std::thread::hardware_concurrency();
-  scaling.threads = n_threads;
-  scaling.shard_threads = opt.shard_threads;
-  // Only completed configurations count as work — errored configs burn
-  // ~no wall clock and would inflate configs_per_sec.
-  scaling.configs = succeeded;
-  scaling.sweep_seconds = sweep_s;
-  const std::string scaling_json = scaling_record_json(scaling);
-
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    emit(f, results[i], scenarios,
-         i + 1 == results.size() && scaling_json.empty());
-  }
-  if (!scaling_json.empty()) {
-    std::fprintf(f, "  %s\n", scaling_json.c_str());
-  }
-  std::fprintf(f, "]\n");
-  if (f != stdout) std::fclose(f);
 
   std::size_t failed = 0;
-  for (const TaskResult& r : results) failed += r.error.empty() ? 0 : 1;
+  std::vector<std::string> records;
+  records.reserve(results.size());
+  for (const ConfigResult& r : results) {
+    failed += r.error.empty() ? 0 : 1;
+    records.push_back(config_result_json(r, /*include_wall=*/!opt.deterministic));
+  }
+
+  // Thread-scaling record, only on hosts that can demonstrate scaling
+  // (see analysis/scaling_record.h for the single-core fallback rule) and
+  // never in deterministic mode — it is host timing by definition.
+  std::string scaling_json;
+  if (!opt.deterministic) {
+    SweepScaling scaling;
+    scaling.hw_threads = std::thread::hardware_concurrency();
+    scaling.threads = n_threads;
+    scaling.shard_threads = opt.spec.shard_threads;
+    // Only completed configurations count as work — errored configs burn
+    // ~no wall clock and would inflate configs_per_sec.
+    scaling.configs = results.size() - failed;
+    scaling.sweep_seconds = sweep_s;
+    scaling_json = scaling_record_json(scaling);
+  }
+
+  write_campaign_records(f, records, scaling_json);
+  if (f != stdout) std::fclose(f);
+
   // Note: per-config wall_ms under thread oversubscription includes
   // scheduler interleaving; compare whole-sweep times across --threads
   // values to measure scaling.
   std::fprintf(stderr,
                "sweep_runner: %zu configs on %u threads in %.2fs "
                "(%.1f configs/sec), %zu failed\n",
-               tasks.size(), n_threads, sweep_s,
-               static_cast<double>(tasks.size()) / sweep_s, failed);
+               keys.size(), n_threads, sweep_s,
+               static_cast<double>(keys.size()) / sweep_s, failed);
   return failed ? 1 : 0;
 }

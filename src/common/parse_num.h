@@ -1,0 +1,60 @@
+// Checked numeric parsing for command-line values.
+//
+// The CLIs used to lean on std::stoul, which has two traps for flag
+// values: a leading '-' is accepted and wrapped ("--threads -1" became
+// ~4e9 worker threads) and trailing junk is ignored ("--epoch-ticks
+// 10x" parsed as 10). parse_uint consumes the whole token or throws,
+// rejects signs, and range-checks, so every mistyped flag fails loudly
+// with the flag name in the message instead of silently running a
+// different experiment. Shared by sweep_runner and the fabric CLIs
+// (tools/pipo_coordinator.cpp, tools/pipo_worker.cpp).
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pipo {
+
+/// Parses `token` as an unsigned decimal integer in [min, max].
+/// The entire token must be digits (no sign, no whitespace, no trailing
+/// characters, no empty string); violations throw std::invalid_argument
+/// naming `what` — pass the flag name so the user sees which value is
+/// bad. Hex/octal prefixes are rejected too: flag values are decimal.
+inline std::uint64_t parse_uint(const std::string& token, const char* what,
+                                std::uint64_t min = 0,
+                                std::uint64_t max = UINT64_MAX) {
+  auto bad = [&](const std::string& why) -> std::invalid_argument {
+    return std::invalid_argument(std::string(what) + ": " + why + ": \"" +
+                                 token + "\"");
+  };
+  if (token.empty()) throw bad("expected a number, got an empty value");
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      throw bad(c == '-' ? "negative values are not allowed"
+                         : "not a decimal number");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0') {
+    throw bad("out of range (does not fit in 64 bits)");
+  }
+  if (v < min || v > max) {
+    throw bad("must be in [" + std::to_string(min) + ", " +
+              std::to_string(max) + "]");
+  }
+  return v;
+}
+
+/// parse_uint narrowed to `unsigned` (the thread-count flags).
+inline unsigned parse_uint32(const std::string& token, const char* what,
+                             std::uint64_t min = 0,
+                             std::uint64_t max = UINT32_MAX) {
+  return static_cast<unsigned>(parse_uint(token, what, min, max));
+}
+
+}  // namespace pipo

@@ -1,0 +1,280 @@
+#include "fabric/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+
+#include "workload/mixes.h"
+
+namespace pipo {
+
+namespace {
+
+/// Any core<i>.trace file marks a scenario directory — captures need
+/// not start at core 0 (assign_trace_scenario idle-fills gaps). The
+/// naming contract itself lives in analysis/perf_experiment.h.
+bool has_core_traces(const std::filesystem::path& dir) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (is_core_trace_name(entry.path().filename().string())) return true;
+  }
+  return false;
+}
+
+/// Scenario label for the JSON record: the last path component, robust
+/// to trailing slashes ("rec/scen/" must label as "scen", not "") so
+/// compare_replay_stats.py can key the record to its live counterpart.
+std::string scenario_name(const std::filesystem::path& p) {
+  std::string s = p.lexically_normal().string();
+  while (s.size() > 1 &&
+         s.back() == std::filesystem::path::preferred_separator) {
+    s.pop_back();
+  }
+  const std::string name = std::filesystem::path(s).filename().string();
+  return name.empty() || name == "." ? s : name;
+}
+
+}  // namespace
+
+void CampaignSpec::validate() const {
+  if (run_mixes &&
+      (mix_lo < 1 || mix_hi > num_mixes() || mix_lo > mix_hi)) {
+    throw std::invalid_argument("mix range out of 1.." +
+                                std::to_string(num_mixes()));
+  }
+  if (defenses.empty()) {
+    throw std::invalid_argument("campaign has no defenses");
+  }
+  if (!run_mixes && scenarios.empty()) {
+    throw std::invalid_argument(
+        "campaign runs neither mixes nor trace scenarios");
+  }
+  if (run_mixes && seeds == 0) {
+    throw std::invalid_argument("campaign needs at least one seed");
+  }
+  if (!run_mixes && !record_dir.empty()) {
+    // Only mix configurations are recorded (replays already *are*
+    // recordings); silently ignoring the capture would look like one.
+    throw std::invalid_argument(
+        "record_dir applies to mix configurations; enable mixes");
+  }
+}
+
+std::vector<DefenseKind> all_defenses() {
+  return {DefenseKind::kNone,  DefenseKind::kPiPoMonitor,
+          DefenseKind::kDirectoryMonitor, DefenseKind::kSharp,
+          DefenseKind::kBitp,  DefenseKind::kRic};
+}
+
+DefenseKind parse_defense(const std::string& s) {
+  if (s == "none") return DefenseKind::kNone;
+  if (s == "pipo") return DefenseKind::kPiPoMonitor;
+  if (s == "dir") return DefenseKind::kDirectoryMonitor;
+  if (s == "sharp") return DefenseKind::kSharp;
+  if (s == "bitp") return DefenseKind::kBitp;
+  if (s == "ric") return DefenseKind::kRic;
+  throw std::invalid_argument("unknown defense: " + s +
+                              " (none|pipo|dir|sharp|bitp|ric)");
+}
+
+std::vector<DefenseKind> parse_defense_list(const std::string& csv) {
+  if (csv == "all") return all_defenses();
+  std::vector<DefenseKind> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const auto end = comma == std::string::npos ? csv.size() : comma;
+    out.push_back(parse_defense(csv.substr(start, end - start)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<TraceScenario> expand_trace_paths(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<TraceScenario> out;
+  for (const std::string& p : paths) {
+    if (!fs::exists(p)) {
+      throw std::invalid_argument("--trace path does not exist: " + p);
+    }
+    if (!fs::is_directory(p) || has_core_traces(p)) {
+      out.push_back({scenario_name(p), p});
+      continue;
+    }
+    std::vector<TraceScenario> nested;
+    for (const auto& entry : fs::directory_iterator(p)) {
+      if (entry.is_directory() && has_core_traces(entry.path())) {
+        nested.push_back(
+            {entry.path().filename().string(), entry.path().string()});
+      }
+    }
+    if (nested.empty()) {
+      throw std::invalid_argument(
+          "--trace directory has no core<i>.trace files and no scenario "
+          "subdirectories: " + p);
+    }
+    std::sort(nested.begin(), nested.end(),
+              [](const TraceScenario& a, const TraceScenario& b) {
+                return a.name < b.name;
+              });
+    out.insert(out.end(), nested.begin(), nested.end());
+  }
+  return out;
+}
+
+std::vector<ConfigKey> enumerate_campaign(const CampaignSpec& spec) {
+  std::vector<ConfigKey> keys;
+  if (spec.run_mixes) {
+    for (unsigned mix = spec.mix_lo; mix <= spec.mix_hi; ++mix) {
+      for (DefenseKind kind : spec.defenses) {
+        for (unsigned s = 0; s < spec.seeds; ++s) {
+          keys.push_back(ConfigKey{mix, kind, 42 + s, -1});
+        }
+      }
+    }
+  }
+  // Trace replay is deterministic — one run per (scenario, defense),
+  // no seed axis.
+  for (std::size_t t = 0; t < spec.scenarios.size(); ++t) {
+    for (DefenseKind kind : spec.defenses) {
+      keys.push_back(ConfigKey{0, kind, 42, static_cast<int>(t)});
+    }
+  }
+  return keys;
+}
+
+ConfigResult run_campaign_config(const CampaignSpec& spec,
+                                 std::uint64_t config_id,
+                                 const ConfigKey& key) {
+  ConfigResult out;
+  out.config_id = config_id;
+  out.key = key;
+  if (key.trace >= 0 &&
+      static_cast<std::size_t>(key.trace) < spec.scenarios.size()) {
+    out.trace_name = spec.scenarios[static_cast<std::size_t>(key.trace)].name;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  // An escaping exception would take down the whole campaign (or, in
+  // the fabric, the worker process); capture it as the structured
+  // failure record and let the remaining configurations run.
+  try {
+    if (key.trace >= 0 &&
+        static_cast<std::size_t>(key.trace) >= spec.scenarios.size()) {
+      throw std::invalid_argument("config references scenario " +
+                                  std::to_string(key.trace) +
+                                  " but the campaign has " +
+                                  std::to_string(spec.scenarios.size()));
+    }
+    SystemConfig cfg = SystemConfig::with_defense(key.defense);
+    cfg.shard_threads = spec.shard_threads;
+    cfg.epoch_ticks = spec.epoch_ticks;
+    if (key.trace >= 0) {
+      out.r = run_trace_perf(
+          spec.scenarios[static_cast<std::size_t>(key.trace)].path, cfg);
+    } else if (!spec.record_dir.empty()) {
+      const TraceCapture capture{
+          spec.record_dir + "/mix" + std::to_string(key.mix) + "_" +
+              to_string(key.defense) + "_s" + std::to_string(key.seed),
+          spec.record_format};
+      out.r = run_mix_perf(key.mix, cfg, spec.instr, key.seed, spec.ws_div,
+                           &capture);
+    } else {
+      out.r = run_mix_perf(key.mix, cfg, spec.instr, key.seed, spec.ws_div);
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    if (out.error.empty()) out.error = "unknown error";
+  } catch (...) {
+    out.error = "unknown error";
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string config_result_json(const ConfigResult& t, bool include_wall) {
+  // Trace scenarios identify themselves by name instead of mix number;
+  // the simulated fields are the same, so a replay record diffs cleanly
+  // against its live mix record (scripts/compare_replay_stats.py).
+  std::string id;
+  if (t.key.trace >= 0) {
+    id = "\"trace\": \"" + json_escape(t.trace_name) + "\"";
+  } else {
+    id = "\"mix\": " + std::to_string(t.key.mix);
+  }
+  // The id / error strings are unbounded (trace names, exception
+  // messages) — only the numeric tails go through fixed snprintf
+  // buffers, so a long path can never truncate a record into bad JSON.
+  char buf[448];
+  if (!t.error.empty()) {
+    // The structured failure record: self-identifying by config id so a
+    // distributed merge (or a grep of a huge campaign) can name the
+    // failed cell without re-deriving the enumeration.
+    std::snprintf(buf, sizeof buf, ", \"defense\": \"%s\", \"seed\": %llu, ",
+                  to_string(t.key.defense),
+                  static_cast<unsigned long long>(t.key.seed));
+    return "{\"config\": " + std::to_string(t.config_id) + ", " + id + buf +
+           "\"error\": \"" + json_escape(t.error) + "\"}";
+  }
+  const System::Stats& s = t.r.stats;
+  std::string wall;
+  if (include_wall) {
+    char wbuf[48];
+    std::snprintf(wbuf, sizeof wbuf, ", \"wall_ms\": %.1f", t.wall_ms);
+    wall = wbuf;
+  }
+  std::snprintf(
+      buf, sizeof buf,
+      ", \"defense\": \"%s\", \"seed\": %llu, "
+      "\"exec_time\": %llu, \"instructions\": %llu, "
+      "\"prefetches\": %llu, \"captures\": %llu, "
+      "\"false_positives_per_mi\": %.4f, "
+      "\"l3_hits\": %llu, \"l3_misses\": %llu, "
+      "\"back_invalidations\": %llu, \"writebacks\": %llu%s}",
+      to_string(t.key.defense),
+      static_cast<unsigned long long>(t.key.seed),
+      static_cast<unsigned long long>(t.r.exec_time),
+      static_cast<unsigned long long>(t.r.instructions),
+      static_cast<unsigned long long>(t.r.prefetches),
+      static_cast<unsigned long long>(t.r.captures),
+      t.r.false_positives_per_mi,
+      static_cast<unsigned long long>(s.l3_hits),
+      static_cast<unsigned long long>(s.l3_misses),
+      static_cast<unsigned long long>(s.back_invalidations),
+      static_cast<unsigned long long>(s.writebacks), wall.c_str());
+  return "{" + id + buf;
+}
+
+void write_campaign_records(std::FILE* f,
+                            const std::vector<std::string>& records,
+                            const std::string& trailing) {
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const bool last = i + 1 == records.size() && trailing.empty();
+    std::fprintf(f, "  %s%s\n", records[i].c_str(), last ? "" : ",");
+  }
+  if (!trailing.empty()) std::fprintf(f, "  %s\n", trailing.c_str());
+  std::fprintf(f, "]\n");
+}
+
+}  // namespace pipo

@@ -1,0 +1,124 @@
+// Campaign = one sweep of (mix x defense x seed) + trace-replay
+// configurations, as a value that can be enumerated, executed and
+// serialized. This is the code sweep_runner and the distributed fabric
+// (fabric/coordinator.h, fabric/worker.h) share so "the same campaign"
+// means the same thing everywhere:
+//
+//  * enumerate_campaign gives every configuration a dense **config id**
+//    (its index in the fixed enumeration order: the mix grid first —
+//    mixes outer, defenses middle, seeds inner — then scenarios x
+//    defenses). Config ids key the fabric's lease table and fix the
+//    merged output order, so a distributed campaign's JSON is
+//    byte-identical to a serial run no matter which worker ran what.
+//  * run_campaign_config executes one configuration and never throws:
+//    a per-config failure becomes a structured {"config": ..,
+//    "error": ..} record (ConfigResult::error) so one bad configuration
+//    cannot take down a million-config campaign.
+//  * config_result_json renders the one canonical record form. Both the
+//    standalone runner and the fabric emit through it; `include_wall`
+//    adds the host-timing field (wall_ms), which deterministic outputs
+//    (fabric merges, sweep_runner --deterministic) omit so byte
+//    comparison across runs and worker counts is meaningful.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/perf_experiment.h"
+#include "sim/system_config.h"
+#include "workload/trace_codec.h"
+
+namespace pipo {
+
+/// A replayable scenario: a trace file or a directory of core<i>.trace
+/// files (the TraceCapture layout).
+struct TraceScenario {
+  std::string name;  ///< label for the JSON record
+  std::string path;
+
+  bool operator==(const TraceScenario&) const = default;
+};
+
+struct CampaignSpec {
+  bool run_mixes = true;  ///< false: trace scenarios only
+  unsigned mix_lo = 1, mix_hi = 10;
+  std::vector<DefenseKind> defenses;  ///< empty is invalid; see all_defenses()
+  unsigned seeds = 1;
+  std::uint64_t instr = 200'000;
+  std::uint64_t ws_div = 16;
+  unsigned shard_threads = 0;        ///< 0 = serial engine inside each sim
+  std::uint64_t epoch_ticks = 1024;  ///< shard-engine barrier cadence
+  std::vector<TraceScenario> scenarios;
+  /// Mix-capture directory (standalone sweeps only — the fabric rejects
+  /// capture campaigns: workers would each record to their own disk).
+  std::string record_dir;
+  TraceFormat record_format = TraceFormat::kTextV1;
+
+  /// Throws std::invalid_argument on an impossible campaign (empty mix
+  /// range, no defenses, nothing to run).
+  void validate() const;
+
+  bool operator==(const CampaignSpec&) const = default;
+};
+
+std::vector<DefenseKind> all_defenses();
+/// "none|pipo|dir|sharp|bitp|ric" -> kind; throws std::invalid_argument.
+DefenseKind parse_defense(const std::string& s);
+/// "all" or a comma-separated list of parse_defense names.
+std::vector<DefenseKind> parse_defense_list(const std::string& csv);
+
+/// Expands --trace arguments into scenarios: each path is a trace file,
+/// a scenario directory holding core<i>.trace files, or a directory of
+/// such scenario directories (expanded in name order). Throws
+/// std::invalid_argument for missing paths or empty directories.
+std::vector<TraceScenario> expand_trace_paths(
+    const std::vector<std::string>& paths);
+
+/// One cell of the campaign grid.
+struct ConfigKey {
+  unsigned mix = 0;  ///< 0 for trace scenarios
+  DefenseKind defense = DefenseKind::kNone;
+  std::uint64_t seed = 42;
+  int trace = -1;  ///< index into CampaignSpec::scenarios, or -1
+
+  bool operator==(const ConfigKey&) const = default;
+};
+
+/// The campaign's full grid in canonical config-id order (the vector
+/// index IS the config id).
+std::vector<ConfigKey> enumerate_campaign(const CampaignSpec& spec);
+
+struct ConfigResult {
+  std::uint64_t config_id = 0;
+  ConfigKey key{};
+  std::string trace_name;  ///< scenario label when key.trace >= 0
+  MixPerfResult r{};
+  double wall_ms = 0;  ///< host timing, not simulated
+  std::string error;   ///< non-empty: the config failed instead of running
+};
+
+/// Runs one configuration. Exceptions are captured into
+/// ConfigResult::error (the structured failure record) — this function
+/// does not throw for per-config failures.
+ConfigResult run_campaign_config(const CampaignSpec& spec,
+                                 std::uint64_t config_id,
+                                 const ConfigKey& key);
+
+std::string json_escape(const std::string& s);
+
+/// One JSON record (no surrounding indentation/comma). Error results
+/// render as {"config": N, <identity>, "error": "..."}; successes keep
+/// the historical sweep_runner field layout, with wall_ms only when
+/// `include_wall` (deterministic outputs must not embed host timing).
+std::string config_result_json(const ConfigResult& r, bool include_wall);
+
+/// Writes the campaign output array: records in the given order, plus
+/// an optional trailing record (the {"scaling": ...} object); the exact
+/// bytes sweep_runner has always produced.
+void write_campaign_records(std::FILE* f,
+                            const std::vector<std::string>& records,
+                            const std::string& trailing = {});
+
+}  // namespace pipo

@@ -1,0 +1,84 @@
+#include "fabric/lease_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pipo {
+
+LeaseTable::LeaseTable(std::uint64_t num_configs, std::uint64_t lease_ms)
+    : configs_(num_configs), lease_ms_(lease_ms), pending_(num_configs) {
+  if (lease_ms == 0) {
+    throw std::invalid_argument("LeaseTable: lease_ms must be >= 1");
+  }
+}
+
+std::optional<LeaseTable::Grant> LeaseTable::acquire(std::uint64_t owner,
+                                                     std::uint64_t now_ms) {
+  if (pending_ == 0) return std::nullopt;
+  for (std::uint64_t id = scan_from_; id < configs_.size(); ++id) {
+    Entry& e = configs_[id];
+    if (e.state != State::kPending) continue;
+    e.state = State::kLeased;
+    e.lease_id = next_lease_id_++;
+    e.owner = owner;
+    e.deadline_ms = now_ms + lease_ms_;
+    --pending_;
+    scan_from_ = id + 1;
+    return Grant{e.lease_id, id};
+  }
+  // pending_ > 0 guarantees the loop found one; reaching here means the
+  // counters and the entries disagree.
+  throw std::logic_error("LeaseTable: pending counter out of sync");
+}
+
+bool LeaseTable::complete(std::uint64_t config_id) {
+  if (config_id >= configs_.size()) return false;
+  Entry& e = configs_[config_id];
+  if (e.state == State::kDone) return false;  // duplicate: dedupe
+  if (e.state == State::kPending) {
+    // A completion for an expired-and-not-yet-reassigned lease: the
+    // work is done, accept it.
+    --pending_;
+  }
+  e.state = State::kDone;
+  ++completed_;
+  return true;
+}
+
+std::uint64_t LeaseTable::release_owner(std::uint64_t owner) {
+  std::uint64_t released = 0;
+  for (std::uint64_t id = 0; id < configs_.size(); ++id) {
+    Entry& e = configs_[id];
+    if (e.state == State::kLeased && e.owner == owner) {
+      e.state = State::kPending;
+      ++pending_;
+      ++released;
+      scan_from_ = std::min(scan_from_, id);
+    }
+  }
+  return released;
+}
+
+std::uint64_t LeaseTable::expire(std::uint64_t now_ms) {
+  std::uint64_t expired = 0;
+  for (std::uint64_t id = 0; id < configs_.size(); ++id) {
+    Entry& e = configs_[id];
+    if (e.state == State::kLeased && e.deadline_ms <= now_ms) {
+      e.state = State::kPending;
+      ++pending_;
+      ++expired;
+      scan_from_ = std::min(scan_from_, id);
+    }
+  }
+  return expired;
+}
+
+std::uint64_t LeaseTable::next_deadline() const {
+  std::uint64_t best = UINT64_MAX;
+  for (const Entry& e : configs_) {
+    if (e.state == State::kLeased) best = std::min(best, e.deadline_ms);
+  }
+  return best;
+}
+
+}  // namespace pipo

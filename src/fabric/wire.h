@@ -1,0 +1,140 @@
+// Byte-level serialization primitives for the fabric's frame payloads.
+//
+// Same conventions as the binary trace codec (workload/trace_codec.h):
+// LEB128 varints for integers (at most 10 bytes), fixed little-endian
+// for the few width-sensitive fields, strings as varint length + raw
+// bytes, doubles as their IEEE-754 bit pattern (bit-exact round trip —
+// a result merged through the fabric must not differ in the last ulp
+// from one computed locally). WireReader rejects every malformed shape
+// (truncated varint, overlong varint, string past the end, trailing
+// junk) with std::invalid_argument naming the field and the byte offset
+// inside the payload.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pipo {
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32le(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void str(const std::string& s) {
+    varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void f64(double d) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof d);
+    std::memcpy(&bits, &d, sizeof bits);
+    for (int i = 0; i < 8; ++i) buf_.push_back((bits >> (8 * i)) & 0xFF);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& v)
+      : WireReader(v.data(), v.size()) {}
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32le(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t varint(const char* what) {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= size_) bad(what, "truncated varint");
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) {
+        if (shift == 63 && (b & 0x7E)) bad(what, "varint overflows 64 bits");
+        return v;
+      }
+    }
+    bad(what, "varint longer than 10 bytes");
+  }
+
+  std::string str(const char* what,
+                  std::size_t max_len = 1 << 20) {
+    const std::uint64_t len = varint(what);
+    if (len > max_len) bad(what, "string length exceeds limit");
+    need(static_cast<std::size_t>(len), what);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  double f64(const char* what) {
+    need(8, what);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    double d;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+  }
+
+  bool done() const { return pos_ == size_; }
+  std::size_t offset() const { return pos_; }
+
+  /// Payload decoders call this last: a payload with trailing bytes is
+  /// malformed (a frame type/version mismatch would look like this).
+  void expect_done(const char* what) const {
+    if (!done()) bad(what, "trailing bytes after payload");
+  }
+
+  [[noreturn]] void bad(const char* what, const std::string& why) const {
+    throw std::invalid_argument(std::string(what) + ": " + why +
+                                " at payload byte " + std::to_string(pos_));
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (size_ - pos_ < n) bad(what, "truncated payload");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pipo

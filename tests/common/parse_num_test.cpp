@@ -1,0 +1,86 @@
+// Unit tests for common/parse_num.h — the checked CLI number parser.
+// The interesting cases are exactly the std::stoul traps it exists to
+// close: negative values that silently wrap, trailing junk that is
+// silently ignored, and out-of-range values.
+#include "common/parse_num.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace pipo {
+namespace {
+
+TEST(ParseNum, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_uint("0", "--x"), 0u);
+  EXPECT_EQ(parse_uint("7", "--x"), 7u);
+  EXPECT_EQ(parse_uint("200000", "--x"), 200000u);
+  EXPECT_EQ(parse_uint("18446744073709551615", "--x"), UINT64_MAX);
+  // Leading zeros are still decimal, not octal.
+  EXPECT_EQ(parse_uint("0010", "--x"), 10u);
+}
+
+TEST(ParseNum, HonorsRange) {
+  EXPECT_EQ(parse_uint("1", "--x", 1, 10), 1u);
+  EXPECT_EQ(parse_uint("10", "--x", 1, 10), 10u);
+  EXPECT_THROW(parse_uint("0", "--x", 1, 10), std::invalid_argument);
+  EXPECT_THROW(parse_uint("11", "--x", 1, 10), std::invalid_argument);
+}
+
+TEST(ParseNum, MessageNamesTheFlagAndTheToken) {
+  try {
+    parse_uint("99", "--threads", 0, 64);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("\"99\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 64]"), std::string::npos) << msg;
+  }
+}
+
+// The first stoul trap: "-1" wraps to ~4e9 instead of failing.
+TEST(ParseNum, RejectsNegativeValuesInsteadOfWrapping) {
+  try {
+    parse_uint("-1", "--threads");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("negative"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse_uint("-0", "--x"), std::invalid_argument);
+}
+
+// The second stoul trap: "10x" parses as 10 with the junk ignored.
+TEST(ParseNum, RejectsTrailingJunk) {
+  EXPECT_THROW(parse_uint("10x", "--x"), std::invalid_argument);
+  EXPECT_THROW(parse_uint("1 0", "--x"), std::invalid_argument);
+  EXPECT_THROW(parse_uint(" 10", "--x"), std::invalid_argument);
+  EXPECT_THROW(parse_uint("10 ", "--x"), std::invalid_argument);
+  EXPECT_THROW(parse_uint("1e3", "--x"), std::invalid_argument);
+  EXPECT_THROW(parse_uint("10.0", "--x"), std::invalid_argument);
+}
+
+TEST(ParseNum, RejectsNonDecimalForms) {
+  EXPECT_THROW(parse_uint("", "--x"), std::invalid_argument);
+  EXPECT_THROW(parse_uint("+1", "--x"), std::invalid_argument);
+  EXPECT_THROW(parse_uint("0x10", "--x"), std::invalid_argument);
+  EXPECT_THROW(parse_uint("ten", "--x"), std::invalid_argument);
+}
+
+TEST(ParseNum, RejectsSixtyFourBitOverflow) {
+  // UINT64_MAX + 1.
+  EXPECT_THROW(parse_uint("18446744073709551616", "--x"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_uint("99999999999999999999999", "--x"),
+               std::invalid_argument);
+}
+
+TEST(ParseNum, NarrowedVariantCapsAtUint32) {
+  EXPECT_EQ(parse_uint32("4294967295", "--x"), 4294967295u);
+  EXPECT_THROW(parse_uint32("4294967296", "--x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,148 @@
+// Unit tests for the shared campaign layer (fabric/campaign.h):
+// enumeration order (the config-id contract both sweep_runner and the
+// fabric key on), structured error capture, and the JSON record shapes.
+#include "fabric/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipo {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.mix_lo = 1;
+  spec.mix_hi = 2;
+  spec.defenses = {DefenseKind::kNone, DefenseKind::kPiPoMonitor};
+  spec.seeds = 2;
+  spec.instr = 5'000;
+  return spec;
+}
+
+TEST(Campaign, EnumerationOrderIsMixesOuterDefensesMiddleSeedsInner) {
+  const auto keys = enumerate_campaign(small_spec());
+  ASSERT_EQ(keys.size(), 8u);  // 2 mixes x 2 defenses x 2 seeds
+  EXPECT_EQ(keys[0], (ConfigKey{1, DefenseKind::kNone, 42, -1}));
+  EXPECT_EQ(keys[1], (ConfigKey{1, DefenseKind::kNone, 43, -1}));
+  EXPECT_EQ(keys[2], (ConfigKey{1, DefenseKind::kPiPoMonitor, 42, -1}));
+  EXPECT_EQ(keys[3], (ConfigKey{1, DefenseKind::kPiPoMonitor, 43, -1}));
+  EXPECT_EQ(keys[4], (ConfigKey{2, DefenseKind::kNone, 42, -1}));
+  EXPECT_EQ(keys[7], (ConfigKey{2, DefenseKind::kPiPoMonitor, 43, -1}));
+}
+
+TEST(Campaign, ScenariosFollowTheMixGrid) {
+  CampaignSpec spec = small_spec();
+  spec.seeds = 1;
+  spec.scenarios = {{"a", "/nope/a"}, {"b", "/nope/b"}};
+  const auto keys = enumerate_campaign(spec);
+  // 2 mixes x 2 defenses x 1 seed, then 2 scenarios x 2 defenses.
+  ASSERT_EQ(keys.size(), 8u);
+  EXPECT_EQ(keys[4], (ConfigKey{0, DefenseKind::kNone, 42, 0}));
+  EXPECT_EQ(keys[5], (ConfigKey{0, DefenseKind::kPiPoMonitor, 42, 0}));
+  EXPECT_EQ(keys[6], (ConfigKey{0, DefenseKind::kNone, 42, 1}));
+  EXPECT_EQ(keys[7], (ConfigKey{0, DefenseKind::kPiPoMonitor, 42, 1}));
+}
+
+TEST(Campaign, ValidateRejectsImpossibleCampaigns) {
+  CampaignSpec spec = small_spec();
+  spec.mix_lo = 3;
+  spec.mix_hi = 2;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.defenses.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.run_mixes = false;  // and no scenarios
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.run_mixes = false;
+  spec.scenarios = {{"a", "/nope/a"}};
+  spec.record_dir = "/tmp/rec";  // capture without mixes
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(small_spec().validate());
+}
+
+TEST(Campaign, RunCapturesPerConfigFailureAsStructuredError) {
+  CampaignSpec spec = small_spec();
+  spec.scenarios = {{"ghost", "/nonexistent/trace/path"}};
+  // A config referencing a missing trace must not throw — it must come
+  // back as an error record carrying its identity.
+  const ConfigKey bad{0, DefenseKind::kNone, 42, 0};
+  const ConfigResult r = run_campaign_config(spec, 6, bad);
+  EXPECT_EQ(r.config_id, 6u);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(r.trace_name, "ghost");
+
+  const std::string json = config_result_json(r, /*include_wall=*/false);
+  EXPECT_NE(json.find("\"config\": 6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace\": \"ghost\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"error\": \""), std::string::npos) << json;
+  // Error records never carry stats fields.
+  EXPECT_EQ(json.find("\"exec_time\""), std::string::npos) << json;
+}
+
+TEST(Campaign, RunOutOfRangeScenarioIsAnErrorRecordNotACrash) {
+  const CampaignSpec spec = small_spec();  // no scenarios
+  const ConfigResult r =
+      run_campaign_config(spec, 0, ConfigKey{0, DefenseKind::kNone, 42, 3});
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Campaign, SuccessRecordKeepsTheHistoricalShape) {
+  CampaignSpec spec = small_spec();
+  const auto keys = enumerate_campaign(spec);
+  const ConfigResult r = run_campaign_config(spec, 0, keys[0]);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+
+  const std::string det = config_result_json(r, /*include_wall=*/false);
+  // Field order is the byte-identity contract: mix, defense, seed, then
+  // the stats block — and no "config" field on success records
+  // (scripts/compare_replay_stats.py keys on the historical shape).
+  EXPECT_EQ(det.find("{\"mix\": 1, \"defense\": \"baseline\", \"seed\": 42, "
+                     "\"exec_time\": "),
+            0u)
+      << det;
+  EXPECT_EQ(det.find("\"config\""), std::string::npos) << det;
+  EXPECT_EQ(det.find("\"wall_ms\""), std::string::npos) << det;
+  EXPECT_EQ(det.back(), '}');
+
+  // include_wall appends exactly one field at the end.
+  const std::string wall = config_result_json(r, /*include_wall=*/true);
+  EXPECT_NE(wall.find("\"wall_ms\": "), std::string::npos) << wall;
+  EXPECT_EQ(wall.find(det.substr(0, det.size() - 1)), 0u)
+      << "wall record must extend the deterministic record: " << wall;
+}
+
+TEST(Campaign, RecordsRenderIdenticallyAcrossCalls) {
+  // The whole byte-identity story assumes rendering is a pure function
+  // of the result — same config, same bytes, every time.
+  CampaignSpec spec = small_spec();
+  const auto keys = enumerate_campaign(spec);
+  const ConfigResult a = run_campaign_config(spec, 2, keys[2]);
+  const ConfigResult b = run_campaign_config(spec, 2, keys[2]);
+  ASSERT_TRUE(a.error.empty()) << a.error;
+  EXPECT_EQ(config_result_json(a, false), config_result_json(b, false));
+}
+
+TEST(Campaign, JsonEscapeHandlesQuotesBackslashesAndControlBytes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape(std::string("a\nb")), "a\\u000ab");
+}
+
+TEST(Campaign, DefenseListParsing) {
+  EXPECT_EQ(parse_defense_list("all"), all_defenses());
+  const auto two = parse_defense_list("none,ric");
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], DefenseKind::kNone);
+  EXPECT_EQ(two[1], DefenseKind::kRic);
+  EXPECT_THROW(parse_defense_list("none,bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_defense_list(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipo

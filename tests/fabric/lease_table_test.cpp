@@ -1,0 +1,220 @@
+// Unit + property tests for the idempotent lease table
+// (fabric/lease_table.h). The property test drives a randomized
+// interleaving of acquire / complete / expire / release_owner /
+// duplicate-completion against a reference set and asserts the two
+// invariants the fabric's byte-identity proof rests on: no config is
+// ever double-counted (complete() returns true at most once per id)
+// and none is ever lost (every id ends DONE, every completion-credit is
+// spent exactly once).
+#include "fabric/lease_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pipo {
+namespace {
+
+TEST(LeaseTable, GrantsLowestPendingWithFreshLeaseIds) {
+  LeaseTable t(3, 100);
+  auto g0 = t.acquire(/*owner=*/1, /*now_ms=*/0);
+  auto g1 = t.acquire(1, 0);
+  auto g2 = t.acquire(2, 0);
+  ASSERT_TRUE(g0 && g1 && g2);
+  EXPECT_EQ(g0->config_id, 0u);
+  EXPECT_EQ(g1->config_id, 1u);
+  EXPECT_EQ(g2->config_id, 2u);
+  // Lease ids are distinct (never-reused is pinned by the reassignment
+  // tests below).
+  EXPECT_NE(g0->lease_id, g1->lease_id);
+  EXPECT_NE(g1->lease_id, g2->lease_id);
+  // Everything leased: nothing to hand out.
+  EXPECT_FALSE(t.acquire(3, 0).has_value());
+  EXPECT_EQ(t.leased(), 3u);
+  EXPECT_EQ(t.pending(), 0u);
+}
+
+TEST(LeaseTable, CompleteReturnsTrueExactlyOnce) {
+  LeaseTable t(2, 100);
+  t.acquire(1, 0);
+  EXPECT_TRUE(t.complete(0));
+  EXPECT_FALSE(t.complete(0));  // duplicate result
+  EXPECT_FALSE(t.complete(0));
+  // Completion without a live lease (the lease expired and the result
+  // arrived late) still counts — the work was done.
+  EXPECT_TRUE(t.complete(1));
+  EXPECT_FALSE(t.complete(1));
+  EXPECT_TRUE(t.done());
+}
+
+TEST(LeaseTable, OutOfRangeCompleteIsRejected) {
+  LeaseTable t(2, 100);
+  EXPECT_FALSE(t.complete(2));
+  EXPECT_FALSE(t.complete(999));
+  EXPECT_EQ(t.completed(), 0u);
+}
+
+TEST(LeaseTable, ExpiryReturnsLeaseToPendingWithANewLeaseId) {
+  LeaseTable t(1, 100);
+  auto g = t.acquire(1, /*now_ms=*/1000);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(t.expire(1099), 0u);  // deadline not yet reached
+  EXPECT_EQ(t.expire(1100), 1u);  // now it is
+  EXPECT_EQ(t.pending(), 1u);
+  auto g2 = t.acquire(2, 1100);
+  ASSERT_TRUE(g2);
+  EXPECT_EQ(g2->config_id, 0u);
+  EXPECT_NE(g2->lease_id, g->lease_id) << "lease ids must never be reused";
+}
+
+TEST(LeaseTable, ReleaseOwnerReturnsOnlyThatOwnersLeases) {
+  LeaseTable t(4, 100);
+  t.acquire(1, 0);  // config 0 -> owner 1
+  t.acquire(2, 0);  // config 1 -> owner 2
+  t.acquire(1, 0);  // config 2 -> owner 1
+  ASSERT_TRUE(t.complete(2));
+  EXPECT_EQ(t.release_owner(1), 1u);  // config 0 only — 2 is DONE
+  EXPECT_EQ(t.pending(), 2u);         // configs 0 and 3
+  EXPECT_EQ(t.leased(), 1u);          // config 1, still owner 2's
+  // The released config is immediately reassignable, lowest-first.
+  auto g = t.acquire(3, 0);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g->config_id, 0u);
+}
+
+TEST(LeaseTable, NextDeadlineTracksEarliestLiveLease) {
+  LeaseTable t(3, 100);
+  EXPECT_EQ(t.next_deadline(), UINT64_MAX);
+  t.acquire(1, 50);   // deadline 150
+  t.acquire(2, 120);  // deadline 220
+  EXPECT_EQ(t.next_deadline(), 150u);
+  EXPECT_EQ(t.expire(150), 1u);
+  EXPECT_EQ(t.next_deadline(), 220u);
+  ASSERT_TRUE(t.complete(1));
+  EXPECT_EQ(t.next_deadline(), UINT64_MAX);
+}
+
+TEST(LeaseTable, DoneOnlyWhenEveryConfigCompleted) {
+  LeaseTable t(2, 100);
+  EXPECT_FALSE(t.done());
+  EXPECT_TRUE(t.complete(0));
+  EXPECT_FALSE(t.done());
+  EXPECT_TRUE(t.complete(1));
+  EXPECT_TRUE(t.done());
+  EXPECT_FALSE(t.acquire(1, 0).has_value());
+}
+
+// ------------------------------------------------------- property test
+
+// Randomized interleavings of every transition the fabric can produce:
+// grants to several owners, completions (including duplicates and
+// late completions from expired leases), owner crashes
+// (release_owner), and clock advances that expire deadlines. After the
+// storm, drain the table and assert nothing was double-counted or
+// lost.
+TEST(LeaseTableProperty, NoConfigDoubleCountedOrLostUnderInterleavings) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+    const std::uint64_t n = 1 + rng.below(12);
+    const std::uint64_t lease_ms = 1 + rng.below(50);
+    LeaseTable t(n, lease_ms);
+
+    std::uint64_t now = 0;
+    std::set<std::uint64_t> credited;         // complete() returned true
+    std::set<std::uint64_t> ever_leased_ids;  // lease-id uniqueness
+    // Live grants a "worker" could later complete or abandon.
+    std::vector<LeaseTable::Grant> live;
+
+    for (int step = 0; step < 400 && !t.done(); ++step) {
+      const std::uint64_t owner = 1 + rng.below(4);
+      switch (rng.below(6)) {
+        case 0:    // a worker asks for work
+        case 1: {  // (twice as likely: keeps the table busy)
+          if (auto g = t.acquire(owner, now)) {
+            EXPECT_TRUE(ever_leased_ids.insert(g->lease_id).second)
+                << "seed " << seed << ": lease id " << g->lease_id
+                << " reused";
+            EXPECT_FALSE(credited.count(g->config_id))
+                << "seed " << seed << ": config " << g->config_id
+                << " re-leased after completion";
+            live.push_back(*g);
+          }
+          break;
+        }
+        case 2: {  // a worker finishes (possibly with a stale grant)
+          if (!live.empty()) {
+            const std::size_t i = rng.below(live.size());
+            const LeaseTable::Grant g = live[i];
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+            const bool fresh = t.complete(g.config_id);
+            if (fresh) {
+              EXPECT_TRUE(credited.insert(g.config_id).second)
+                  << "seed " << seed << ": config " << g.config_id
+                  << " double-counted";
+            } else {
+              EXPECT_TRUE(credited.count(g.config_id))
+                  << "seed " << seed << ": completion of " << g.config_id
+                  << " rejected but never credited";
+            }
+          }
+          break;
+        }
+        case 3: {  // duplicate result for an already-credited config
+          if (!credited.empty()) {
+            auto it = credited.begin();
+            std::advance(it, static_cast<std::ptrdiff_t>(
+                                 rng.below(credited.size())));
+            EXPECT_FALSE(t.complete(*it))
+                << "seed " << seed << ": duplicate completion of " << *it
+                << " accepted";
+          }
+          break;
+        }
+        case 4: {  // an owner crashes
+          t.release_owner(owner);
+          // Its in-flight grants may still complete later (the work
+          // happened before the crash) — keep them in `live`.
+          break;
+        }
+        case 5: {  // time passes; some leases expire
+          now += rng.below(2 * lease_ms);
+          t.expire(now);
+          break;
+        }
+      }
+      // Conservation: every config is in exactly one state.
+      EXPECT_EQ(t.pending() + t.leased() + t.completed(), n)
+          << "seed " << seed;
+      EXPECT_EQ(t.completed(), credited.size()) << "seed " << seed;
+    }
+
+    // Drain: a well-behaved worker finishes the campaign. Everything
+    // must be reachable — nothing stuck in a leased-forever state.
+    int guard = 0;
+    while (!t.done() && guard++ < 10000) {
+      now += lease_ms + 1;
+      t.expire(now);
+      while (auto g = t.acquire(99, now)) {
+        EXPECT_TRUE(ever_leased_ids.insert(g->lease_id).second);
+        const bool fresh = t.complete(g->config_id);
+        EXPECT_TRUE(fresh)
+            << "seed " << seed << ": drained config " << g->config_id
+            << " was already credited yet still leasable";
+        credited.insert(g->config_id);
+      }
+    }
+    EXPECT_TRUE(t.done()) << "seed " << seed << ": campaign never drained";
+    EXPECT_EQ(credited.size(), n)
+        << "seed " << seed << ": configs lost — not every id was credited";
+    EXPECT_EQ(t.completed(), n) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,118 @@
+// Campaign worker CLI: connects to a pipo_coordinator, pulls config
+// leases, runs each through the Simulation engine, and streams results
+// back. Reconnects with capped exponential backoff when the
+// coordinator is unreachable or the connection drops; exits 0 on a
+// clean Shutdown, 1 after exhausting reconnect attempts, 2 for usage
+// errors, 3 when a controlled-crash drill hook fires.
+//
+// Usage:
+//   pipo_worker --connect HOST:PORT [--seed S]
+//               [--backoff-base-ms B] [--backoff-max-ms M]
+//               [--max-reconnects N] [--heartbeat-ms H]
+//               [--recv-timeout-ms T]
+//               [--fault-seed S --drop-pct P --dup-pct P
+//                --trunc-pct P --delay-pct P --delay-max-ms D]
+//               [--die-after-grants N] [--die-after-results N]
+//               [--verbose]
+//
+// The --fault-* / --die-after-* flags exist for fault drills and the
+// CI kill test: they let a shell script produce the exact failure
+// schedules the oracle tier proves harmless.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "common/log.h"
+#include "common/parse_num.h"
+#include "fabric/worker.h"
+
+namespace {
+
+using namespace pipo;
+
+WorkerOptions parse_args(int argc, char** argv) {
+  WorkerOptions o;
+  bool have_connect = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (++i >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[i];
+    };
+    if (arg == "--connect") {
+      const std::string v = value();
+      const auto colon = v.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        throw std::invalid_argument("--connect expects HOST:PORT, got \"" +
+                                    v + "\"");
+      }
+      o.host = v.substr(0, colon);
+      o.port = static_cast<std::uint16_t>(
+          parse_uint(v.substr(colon + 1), "--connect port", 1, 65535));
+      have_connect = true;
+    } else if (arg == "--seed") {
+      o.seed = parse_uint(value(), "--seed", 0);
+    } else if (arg == "--backoff-base-ms") {
+      o.backoff_base_ms = parse_uint(value(), "--backoff-base-ms", 1);
+    } else if (arg == "--backoff-max-ms") {
+      o.backoff_max_ms = parse_uint(value(), "--backoff-max-ms", 1);
+    } else if (arg == "--max-reconnects") {
+      o.max_reconnects = parse_uint32(value(), "--max-reconnects", 0);
+    } else if (arg == "--heartbeat-ms") {
+      o.heartbeat_ms = parse_uint(value(), "--heartbeat-ms", 0);
+    } else if (arg == "--recv-timeout-ms") {
+      o.recv_timeout_ms = static_cast<int>(
+          parse_uint(value(), "--recv-timeout-ms", 1, 3'600'000));
+    } else if (arg == "--fault-seed") {
+      o.faults.seed = parse_uint(value(), "--fault-seed", 0);
+    } else if (arg == "--drop-pct") {
+      o.faults.drop_pct = parse_uint32(value(), "--drop-pct", 0, 100);
+    } else if (arg == "--dup-pct") {
+      o.faults.dup_pct = parse_uint32(value(), "--dup-pct", 0, 100);
+    } else if (arg == "--trunc-pct") {
+      o.faults.trunc_pct = parse_uint32(value(), "--trunc-pct", 0, 100);
+    } else if (arg == "--delay-pct") {
+      o.faults.delay_pct = parse_uint32(value(), "--delay-pct", 0, 100);
+    } else if (arg == "--delay-max-ms") {
+      o.faults.delay_max_ms = parse_uint(value(), "--delay-max-ms", 1, 10'000);
+    } else if (arg == "--die-after-grants") {
+      o.die_after_grants = parse_uint(value(), "--die-after-grants", 0);
+    } else if (arg == "--die-after-results") {
+      o.die_after_results = parse_uint(value(), "--die-after-results", 0);
+    } else if (arg == "--verbose") {
+      if (Log::level() < LogLevel::kDebug) Log::level() = LogLevel::kDebug;
+    } else {
+      throw std::invalid_argument("unknown argument: " + arg);
+    }
+  }
+  if (!have_connect) {
+    throw std::invalid_argument("--connect HOST:PORT is required");
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkerOptions opt;
+  try {
+    opt = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pipo_worker: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    Worker w(opt);
+    const int rc = w.run();
+    std::fprintf(stderr,
+                 "pipo_worker: id=%llu configs=%llu reconnects=%llu rc=%d\n",
+                 static_cast<unsigned long long>(w.worker_id()),
+                 static_cast<unsigned long long>(w.configs_run()),
+                 static_cast<unsigned long long>(w.reconnects()), rc);
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pipo_worker: %s\n", e.what());
+    return 2;
+  }
+}
