@@ -18,6 +18,8 @@
 //   sweep_runner [--threads N] [--shard-threads S] [--epoch-ticks E]
 //                [--mixes 1-10] [--defenses all|none,pipo,...]
 //                [--seeds K] [--instr M] [--ws-div D] [--out FILE]
+//                [--llc inc|exc] [--slice-hash low|cas]
+//                [--monitor-level l1|l2|llc]
 //                [--trace PATH]... [--no-mixes] [--deterministic]
 //                [--record DIR] [--record-format text|binary]
 //
@@ -86,6 +88,14 @@ Options parse_args(int argc, char** argv) {
       o.spec.shard_threads = parse_uint32(value(), "--shard-threads", 0, 64);
     } else if (arg == "--epoch-ticks") {
       o.spec.epoch_ticks = parse_uint(value(), "--epoch-ticks", 1);
+    } else if (arg == "--llc") {
+      o.spec.inclusion = parse_inclusion(value());
+    } else if (arg == "--slice-hash") {
+      const auto h = parse_slice_hash(value());
+      if (!h) throw std::invalid_argument("--slice-hash wants low|cas");
+      o.spec.slice_hash = *h;
+    } else if (arg == "--monitor-level") {
+      o.spec.monitor_level = parse_monitor_level(value());
     } else if (arg == "--mixes") {
       const std::string v = value();
       const auto dash = v.find('-');

@@ -1,0 +1,91 @@
+// Slice-selection hash strategies for the sliced LLC.
+//
+// Real Intel parts do not route physical addresses to LLC slices by the
+// low line bits: the uncore applies an undocumented XOR-of-address-bits
+// ("complex addressing") function, recovered by Maurice et al.
+// (RAID'15) via performance-counter probing. Slice-targeted eviction-set
+// attacks — the construction step of every cross-core Prime+Probe in the
+// paper's threat model — therefore face scrambled set congruence, not
+// the trivial modulo layout. kLowBits keeps the historical interleave
+// (and the byte-identical default); kIntelCas reproduces the recovered
+// XOR masks so attack studies meet realistic address scrambling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.h"
+
+namespace pipo {
+
+enum class SliceHashKind : std::uint8_t {
+  kLowBits,   ///< slice = low line-address bits (historical default)
+  kIntelCas,  ///< Intel complex addressing (Maurice et al., RAID'15)
+};
+
+/// Slice count ceiling of the kIntelCas masks: three recovered XOR
+/// functions give three slice-index bits.
+inline constexpr std::uint32_t kMaxIntelCasSlices = 8;
+
+inline const char* to_string(SliceHashKind k) {
+  switch (k) {
+    case SliceHashKind::kLowBits: return "low-bits";
+    case SliceHashKind::kIntelCas: return "intel-cas";
+  }
+  return "?";
+}
+
+/// "low"/"low-bits" or "cas"/"intel-cas" -> kind; nullopt otherwise.
+inline std::optional<SliceHashKind> parse_slice_hash(const std::string& s) {
+  if (s == "low" || s == "low-bits") return SliceHashKind::kLowBits;
+  if (s == "cas" || s == "intel-cas") return SliceHashKind::kIntelCas;
+  return std::nullopt;
+}
+
+namespace detail {
+
+/// The three per-bit XOR masks of the recovered 2/4/8-slice functions
+/// (Maurice et al., Table 1), expressed over byte addresses: slice bit i
+/// is the parity of (byte_addr & kCasMask[i]).
+inline constexpr std::uint64_t kCasMask[3] = {
+    0x1b5f575440ull,
+    0x2eb5faa880ull,
+    0x3cccc93100ull,
+};
+
+inline std::uint32_t parity64(std::uint64_t v) {
+  v ^= v >> 32;
+  v ^= v >> 16;
+  v ^= v >> 8;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return static_cast<std::uint32_t>(v & 1);
+}
+
+}  // namespace detail
+
+/// Routes `line` to one of `num_slices` (a power of two) slices under
+/// `kind`. kIntelCas supports at most kMaxIntelCasSlices slices; the
+/// first log2(num_slices) mask parities form the slice index, so smaller
+/// machines use a prefix of the recovered function.
+inline std::uint32_t slice_hash(SliceHashKind kind, LineAddr line,
+                                std::uint32_t num_slices) {
+  if (kind == SliceHashKind::kLowBits || num_slices == 1) {
+    return static_cast<std::uint32_t>(line & (num_slices - 1));
+  }
+  if (num_slices > kMaxIntelCasSlices) {
+    throw std::invalid_argument(
+        "intel-cas slice hash supports at most 8 slices");
+  }
+  const std::uint64_t byte_addr = byte_of(line);
+  std::uint32_t slice = 0;
+  for (std::uint32_t b = 0; (1u << b) < num_slices; ++b) {
+    slice |= detail::parity64(byte_addr & detail::kCasMask[b]) << b;
+  }
+  return slice;
+}
+
+}  // namespace pipo

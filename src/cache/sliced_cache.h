@@ -1,8 +1,10 @@
 // Physically distributed (sliced) shared LLC, per Fig 2 of the paper:
 // "The shared L3 cache is physically distributed as slices". Lines are
-// interleaved across slices by the low line-address bits — the slice
-// count must be a power of two — and each slice is an independent
-// CacheArray holding an equal share of the capacity.
+// interleaved across slices by a configurable SliceHashKind — the low
+// line-address bits (historical default) or Intel complex addressing
+// (cache/slice_hash.h) — the slice count must be a power of two, and
+// each slice is an independent CacheArray holding an equal share of the
+// capacity.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "cache/cache_array.h"
+#include "cache/slice_hash.h"
 #include "common/bitutil.h"
 
 namespace pipo {
@@ -19,15 +22,27 @@ class SlicedCache {
   /// `total` describes the aggregate LLC (e.g. 4 MB / 16-way / 35 cycles);
   /// each of the `num_slices` slices gets total.size_bytes / num_slices.
   SlicedCache(const CacheConfig& total, std::uint32_t num_slices,
-              std::uint64_t seed = 1)
-      : total_cfg_(total), num_slices_(num_slices) {
+              std::uint64_t seed = 1,
+              SliceHashKind hash = SliceHashKind::kLowBits)
+      : total_cfg_(total), num_slices_(num_slices), hash_(hash) {
     if (!is_pow2(num_slices) || num_slices == 0) {
       throw std::invalid_argument("LLC slice count must be a power of two");
     }
     if (total.size_bytes % num_slices != 0) {
       throw std::invalid_argument("LLC size must divide evenly into slices");
     }
-    const unsigned slice_bits = log2_exact(num_slices);
+    if (hash == SliceHashKind::kIntelCas &&
+        num_slices > kMaxIntelCasSlices) {
+      throw std::invalid_argument(
+          "intel-cas slice hash supports at most 8 slices");
+    }
+    // Low-bits interleave consumes the low line bits for slice
+    // selection, so each slice skips them when indexing sets. Complex
+    // addressing draws its slice bits from high address bits instead;
+    // the low line bits stay available as set index bits.
+    const unsigned slice_bits = hash == SliceHashKind::kLowBits
+                                    ? log2_exact(num_slices)
+                                    : 0;
     CacheConfig per_slice = total;
     per_slice.size_bytes = total.size_bytes / num_slices;
     per_slice.name = total.name + ".slice";
@@ -40,9 +55,10 @@ class SlicedCache {
   std::uint32_t num_slices() const { return num_slices_; }
   std::uint32_t latency() const { return total_cfg_.latency; }
   const CacheConfig& total_config() const { return total_cfg_; }
+  SliceHashKind hash_kind() const { return hash_; }
 
   std::uint32_t slice_of(LineAddr line) const {
-    return static_cast<std::uint32_t>(line & (num_slices_ - 1));
+    return slice_hash(hash_, line, num_slices_);
   }
 
   /// Set index of `line` within its slice — the same pure routing
@@ -110,6 +126,7 @@ class SlicedCache {
  private:
   CacheConfig total_cfg_;
   std::uint32_t num_slices_;
+  SliceHashKind hash_ = SliceHashKind::kLowBits;
   std::vector<CacheArray> slices_;
 };
 

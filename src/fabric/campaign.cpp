@@ -91,6 +91,21 @@ std::vector<DefenseKind> parse_defense_list(const std::string& csv) {
   return out;
 }
 
+InclusionPolicy parse_inclusion(const std::string& s) {
+  if (s == "inc" || s == "inclusive") return InclusionPolicy::kInclusive;
+  if (s == "exc" || s == "exclusive") return InclusionPolicy::kExclusive;
+  throw std::invalid_argument("unknown inclusion policy: " + s +
+                              " (want inc|exc)");
+}
+
+MonitorLevel parse_monitor_level(const std::string& s) {
+  if (s == "l1") return MonitorLevel::kL1;
+  if (s == "l2") return MonitorLevel::kL2;
+  if (s == "llc") return MonitorLevel::kLlc;
+  throw std::invalid_argument("unknown monitor level: " + s +
+                              " (want l1|l2|llc)");
+}
+
 std::vector<TraceScenario> expand_trace_paths(
     const std::vector<std::string>& paths) {
   namespace fs = std::filesystem;
@@ -170,6 +185,9 @@ ConfigResult run_campaign_config(const CampaignSpec& spec,
     SystemConfig cfg = SystemConfig::with_defense(key.defense);
     cfg.shard_threads = spec.shard_threads;
     cfg.epoch_ticks = spec.epoch_ticks;
+    cfg.inclusion = spec.inclusion;
+    cfg.slice_hash = spec.slice_hash;
+    cfg.monitor_level = spec.monitor_level;
     if (key.trace >= 0) {
       out.r = run_trace_perf(
           spec.scenarios[static_cast<std::size_t>(key.trace)].path, cfg);

@@ -50,6 +50,10 @@ struct CampaignSpec {
   std::uint64_t ws_div = 16;
   unsigned shard_threads = 0;        ///< 0 = serial engine inside each sim
   std::uint64_t epoch_ticks = 1024;  ///< shard-engine barrier cadence
+  // --- hierarchy variants (defaults = the paper's machine) ---
+  InclusionPolicy inclusion = InclusionPolicy::kInclusive;
+  SliceHashKind slice_hash = SliceHashKind::kLowBits;
+  MonitorLevel monitor_level = MonitorLevel::kLlc;
   std::vector<TraceScenario> scenarios;
   /// Mix-capture directory (standalone sweeps only — the fabric rejects
   /// capture campaigns: workers would each record to their own disk).
@@ -68,6 +72,12 @@ std::vector<DefenseKind> all_defenses();
 DefenseKind parse_defense(const std::string& s);
 /// "all" or a comma-separated list of parse_defense names.
 std::vector<DefenseKind> parse_defense_list(const std::string& csv);
+
+/// "inc|inclusive" or "exc|exclusive" -> policy; throws
+/// std::invalid_argument.
+InclusionPolicy parse_inclusion(const std::string& s);
+/// "l1|l2|llc" -> level; throws std::invalid_argument.
+MonitorLevel parse_monitor_level(const std::string& s);
 
 /// Expands --trace arguments into scenarios: each path is a trace file,
 /// a scenario directory holding core<i>.trace files, or a directory of

@@ -233,6 +233,9 @@ void encode_campaign_spec(WireWriter& w, const CampaignSpec& spec) {
   w.varint(spec.ws_div);
   w.varint(spec.shard_threads);
   w.varint(spec.epoch_ticks);
+  w.u8(static_cast<std::uint8_t>(spec.inclusion));
+  w.u8(static_cast<std::uint8_t>(spec.slice_hash));
+  w.u8(static_cast<std::uint8_t>(spec.monitor_level));
   w.varint(spec.scenarios.size());
   for (const TraceScenario& s : spec.scenarios) {
     w.str(s.name);
@@ -265,6 +268,21 @@ CampaignSpec decode_campaign_spec(WireReader& r) {
   spec.ws_div = r.varint("spec.ws_div");
   spec.shard_threads = static_cast<unsigned>(r.varint("spec.shard_threads"));
   spec.epoch_ticks = r.varint("spec.epoch_ticks");
+  const std::uint8_t inc = r.u8("spec.inclusion");
+  if (inc > static_cast<std::uint8_t>(InclusionPolicy::kExclusive)) {
+    r.bad("spec.inclusion", "unknown inclusion policy " + std::to_string(inc));
+  }
+  spec.inclusion = static_cast<InclusionPolicy>(inc);
+  const std::uint8_t hash = r.u8("spec.slice_hash");
+  if (hash > static_cast<std::uint8_t>(SliceHashKind::kIntelCas)) {
+    r.bad("spec.slice_hash", "unknown slice hash " + std::to_string(hash));
+  }
+  spec.slice_hash = static_cast<SliceHashKind>(hash);
+  const std::uint8_t lvl = r.u8("spec.monitor_level");
+  if (lvl > static_cast<std::uint8_t>(MonitorLevel::kLlc)) {
+    r.bad("spec.monitor_level", "unknown monitor level " + std::to_string(lvl));
+  }
+  spec.monitor_level = static_cast<MonitorLevel>(lvl);
   const std::uint64_t n_scen = r.varint("spec.scenarios");
   if (n_scen > (1u << 16)) r.bad("spec.scenarios", "implausible count");
   for (std::uint64_t i = 0; i < n_scen; ++i) {

@@ -46,7 +46,11 @@
 namespace pipo {
 
 inline constexpr char kFabricMagic[4] = {'P', 'F', 'A', 'B'};
-inline constexpr std::uint8_t kFabricVersion = 1;
+/// v2: CampaignSpec carries the hierarchy-variant axes (inclusion,
+/// slice_hash, monitor_level). Version mismatch is a handshake reject,
+/// so v1 workers can never silently run a v2 campaign with the variant
+/// fields dropped.
+inline constexpr std::uint8_t kFabricVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 10;
 /// Payload ceiling. A real frame is tiny (the largest is a Welcome
 /// carrying a campaign spec, or a Result's JSON record — both well under

@@ -17,6 +17,23 @@ const char* to_string(DefenseKind k) {
   return "?";
 }
 
+const char* to_string(InclusionPolicy p) {
+  switch (p) {
+    case InclusionPolicy::kInclusive: return "inclusive";
+    case InclusionPolicy::kExclusive: return "exclusive";
+  }
+  return "?";
+}
+
+const char* to_string(MonitorLevel l) {
+  switch (l) {
+    case MonitorLevel::kL1: return "l1";
+    case MonitorLevel::kL2: return "l2";
+    case MonitorLevel::kLlc: return "llc";
+  }
+  return "?";
+}
+
 const char* to_string(HitLevel l) {
   switch (l) {
     case HitLevel::kL1: return "L1";
@@ -87,7 +104,7 @@ System::System(const SystemConfig& cfg, FilterObserver* filter_observer)
         std::make_unique<CacheArray>(cfg_.l2, 0, cfg_.seed + 200 + c));
   }
   l3_ = std::make_unique<SlicedCache>(cfg_.l3, cfg_.l3_slices,
-                                      cfg_.seed + 300);
+                                      cfg_.seed + 300, cfg_.slice_hash);
   mem_ = std::make_unique<MemController>(cfg_.mem);
 
   // Defense wiring: the PiPoMonitor object always exists (tests and the
@@ -205,12 +222,32 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
       const std::uint32_t lat = cfg_.l3.latency;
       return AccessOutcome{now + lat, lat, HitLevel::kL3};
     }
-    const MonitorAccessResult mres = observe(line);
+    if (exclusive() && privately_held(line)) {
+      // The line lives in some core's private caches; the probe is
+      // served cache-to-cache and must not duplicate the line into the
+      // LLC (mutual exclusion). The holder's state is undisturbed.
+      ++acc_->l3_hits;
+      const std::uint32_t lat = cfg_.l3.latency;
+      return AccessOutcome{now + lat, lat, HitLevel::kL3};
+    }
+    // A probe that skips the private caches is invisible to a defense
+    // attached at L1/L2; only the LLC-attached monitor observes it.
+    MonitorAccessResult mres;
+    if (cfg_.monitor_level == MonitorLevel::kLlc) mres = observe(line);
     const Tick done = mem_->fetch(now, line, MemController::Reason::kDemand);
     const std::uint32_t lat =
         cfg_.l3.latency + static_cast<std::uint32_t>(done - now);
     fill_l3(now, line, mres.ping_pong, /*from_prefetch=*/false,
             kInvalidCore);
+    if (cfg_.defense == DefenseKind::kRic && !exclusive()) {
+      // The probe's fill re-establishes an LLC entry that knows about no
+      // holders, but RIC orphans of the line may survive in private
+      // caches: re-register them as sharers so a later writer going
+      // through this entry cannot miss them.
+      auto slot = l3_->lookup(line);
+      reconcile_ric_orphans(now, line, kInvalidCore, /*is_store=*/false,
+                            l3_->line_for(line, *slot));
+    }
     ++acc_->l3_misses;
     return AccessOutcome{now + lat, lat, HitLevel::kMemory};
   }
@@ -221,19 +258,14 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
   if (auto slot = l1.lookup(line)) {
     l1.touch(*slot);
     CacheLine& cl = l1.line(*slot);
+    if (cfg_.monitor_level == MonitorLevel::kL1 && cl.pp_tag) {
+      cl.pp_accessed = true;  // demanded since tagging (attach level hit)
+    }
     std::uint32_t lat = l1.config().latency;
     if (type == AccessType::kStore) {
       if (!can_write(cl.state)) {
-        // S -> M upgrade: one directory (LLC) round trip.
-        auto l3slot = l3_->lookup(line);
-        if (!l3slot) {
-          // RIC orphan: the private copy outlived its LLC line (relaxed
-          // inclusion). Re-establish the LLC entry before granting
-          // ownership — the write ends the line's read-only exemption.
-          fill_l3(now, line, false, false, core);
-          l3slot = l3_->lookup(line);
-        }
-        make_exclusive(core, line, l3_->line_for(line, *l3slot));
+        // S -> M upgrade: one directory/snoop (LLC) round trip.
+        upgrade_for_store(now, core, line);
         ++acc_->upgrades;
         lat += cfg_.l3.latency;
       }
@@ -244,24 +276,26 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
     return AccessOutcome{now + lat, lat, HitLevel::kL1};
   }
 
+  // An L1-attached defense observes every L1 miss, whatever serves it.
+  MonitorAccessResult l1_mres;
+  if (cfg_.monitor_level == MonitorLevel::kL1) l1_mres = observe(line);
+
   std::uint32_t lat = 0;
   HitLevel level;
   Mesi fill_state;
   bool l2_has = false;
+  bool tag_l2 = false;  ///< set the Ping-Pong tag on the L2 fill
 
   // ---- L2 ----
   if (auto slot = l2_[core]->lookup(line)) {
     l2_[core]->touch(*slot);
     CacheLine& cl = l2_[core]->line(*slot);
+    if (cfg_.monitor_level == MonitorLevel::kL2 && cl.pp_tag) {
+      cl.pp_accessed = true;
+    }
     lat = l2_[core]->config().latency;
     if (type == AccessType::kStore && !can_write(cl.state)) {
-      auto l3slot = l3_->lookup(line);
-      if (!l3slot) {
-        // RIC orphan (see the L1 store path above).
-        fill_l3(now, line, false, false, core);
-        l3slot = l3_->lookup(line);
-      }
-      make_exclusive(core, line, l3_->line_for(line, *l3slot));
+      upgrade_for_store(now, core, line);
       ++acc_->upgrades;
       lat += cfg_.l3.latency;
     }
@@ -270,7 +304,11 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
     level = HitLevel::kL2;
     l2_has = true;
     ++acc_->l2_hits;
-  } else {
+  } else if (!exclusive()) {
+    // An L2-attached defense observes every L2 miss.
+    MonitorAccessResult l2_mres;
+    if (cfg_.monitor_level == MonitorLevel::kL2) l2_mres = observe(line);
+    tag_l2 = l2_mres.ping_pong;
     // ---- L3 (shared, sliced, inclusive, directory) ----
     CacheArray& slice = l3_->slice_for(line);
     if (auto slot = slice.lookup(line)) {
@@ -278,7 +316,7 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
       CacheLine& l3l = slice.line(*slot);
       lat = cfg_.l3.latency;
       if (type == AccessType::kStore) {
-        make_exclusive(core, line, l3l);
+        make_exclusive(now, core, line, l3l);
         l3l.ever_written = true;
         fill_state = Mesi::kModified;
       } else {
@@ -292,7 +330,8 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
       ++acc_->l3_hits;
     } else {
       // ---- memory: the Access the PiPoMonitor observes (Section IV) ----
-      const MonitorAccessResult mres = observe(line);
+      MonitorAccessResult mres;
+      if (cfg_.monitor_level == MonitorLevel::kLlc) mres = observe(line);
       const Tick done =
           mem_->fetch(now, line, MemController::Reason::kDemand);
       lat = cfg_.l3.latency + static_cast<std::uint32_t>(done - now);
@@ -306,7 +345,7 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
         // cores kept across the old LLC entry's eviction.
         if (type != AccessType::kStore) fill_state = Mesi::kShared;
         auto slot = l3_->lookup(line);
-        reconcile_ric_orphans(line, core, type == AccessType::kStore,
+        reconcile_ric_orphans(now, line, core, type == AccessType::kStore,
                               l3_->line_for(line, *slot));
       }
       if (type == AccessType::kStore) {
@@ -316,9 +355,80 @@ System::AccessOutcome System::access(Tick now, CoreId core, Addr addr,
       level = HitLevel::kMemory;
       ++acc_->l3_misses;
     }
+  } else {
+    // ---- exclusive hierarchy: snoop, then victim LLC, then memory ----
+    MonitorAccessResult l2_mres;
+    if (cfg_.monitor_level == MonitorLevel::kL2) l2_mres = observe(line);
+    tag_l2 = l2_mres.ping_pong;
+    if (other_core_holds(core, line)) {
+      // Cache-to-cache transfer at LLC latency: holders downgrade (read)
+      // or die (write). The LLC itself never sees the line.
+      snoop_transfer(now, core, line, type == AccessType::kStore);
+      fill_state =
+          (type == AccessType::kStore) ? Mesi::kModified : Mesi::kShared;
+      lat = cfg_.l3.latency;
+      level = HitLevel::kL3;
+      ++acc_->l3_hits;
+    } else if (l3_->lookup(line)) {
+      // Victim-cache hit: the line MOVES back into the private caches.
+      const EvictedLine mv = *l3_->invalidate(line);
+      lat = cfg_.l3.latency;
+      level = HitLevel::kL3;
+      ++acc_->l3_hits;
+      if (type == AccessType::kStore) {
+        fill_state = Mesi::kModified;  // dirty data travels with the line
+      } else {
+        if (mv.dirty) {
+          // A clean move: the dirty victim data goes home so the private
+          // copy can be granted plain Exclusive.
+          mem_->writeback(now, line);
+          ++acc_->writebacks;
+        }
+        fill_state = Mesi::kExclusive;
+      }
+      if (cfg_.monitor_level == MonitorLevel::kLlc && mv.pp_tag) {
+        tag_l2 = true;  // the Ping-Pong tag rides with the moving line
+      }
+    } else {
+      // ---- memory ----
+      MonitorAccessResult mres;
+      if (cfg_.monitor_level == MonitorLevel::kLlc) mres = observe(line);
+      const Tick done =
+          mem_->fetch(now, line, MemController::Reason::kDemand);
+      lat = cfg_.l3.latency + static_cast<std::uint32_t>(done - now);
+      // The fill lands directly in the private caches; the LLC stays
+      // untouched (it only ever receives victims).
+      fill_state =
+          (type == AccessType::kStore) ? Mesi::kModified : Mesi::kExclusive;
+      if (cfg_.monitor_level == MonitorLevel::kLlc && mres.ping_pong) {
+        tag_l2 = true;
+        ++acc_->pp_tag_fills;
+      }
+      level = HitLevel::kMemory;
+      ++acc_->l3_misses;
+    }
   }
 
   fill_private(now, core, l1, line, fill_state, l2_has);
+  // Attach-level tagging of the fresh fill. An L2/LLC tag lives on the
+  // L2 line (in exclusive mode it rides back to the LLC on victim-fill);
+  // an L1 tag lives on the just-filled L1 line.
+  if (!l2_has && tag_l2) {
+    if (auto slot = l2_[core]->lookup(line)) {
+      CacheLine& cl = l2_[core]->line(*slot);
+      cl.pp_tag = true;
+      cl.pp_accessed = true;  // a demand fill is by definition accessed
+      if (cfg_.monitor_level == MonitorLevel::kL2) ++acc_->pp_tag_fills;
+    }
+  }
+  if (cfg_.monitor_level == MonitorLevel::kL1 && l1_mres.ping_pong) {
+    if (auto slot = l1.lookup(line)) {
+      CacheLine& cl = l1.line(*slot);
+      cl.pp_tag = true;
+      cl.pp_accessed = true;
+      ++acc_->pp_tag_fills;
+    }
+  }
   return AccessOutcome{now + lat, lat, level};
 }
 
@@ -330,9 +440,12 @@ void System::fill_private(Tick now, CoreId core, CacheArray& l1,
     l2_[core]->line(r.slot).state = state;
   }
   auto r = l1.fill(line);
-  if (r.evicted && r.evicted->state == Mesi::kModified) {
-    // Dirty L1 victim folds its data (and M state) into the L2 copy.
-    set_l2_state(core, r.evicted->line, Mesi::kModified);
+  if (r.evicted) {
+    if (r.evicted->state == Mesi::kModified) {
+      // Dirty L1 victim folds its data (and M state) into the L2 copy.
+      set_l2_state(core, r.evicted->line, Mesi::kModified);
+    }
+    note_private_removal(now, MonitorLevel::kL1, *r.evicted);
   }
   l1.line(r.slot).state = state;
 }
@@ -345,7 +458,19 @@ void System::handle_l2_eviction(Tick now, CoreId core,
   for (CacheArray* l1 : {l1i_[core].get(), l1d_[core].get()}) {
     if (auto e = l1->invalidate(ev.line)) {
       dirty = dirty || e->state == Mesi::kModified;
+      note_private_removal(now, MonitorLevel::kL1, *e);
     }
+  }
+  note_private_removal(now, MonitorLevel::kL2, ev);
+  if (exclusive()) {
+    // Victim-cache fill: the LLC receives the line only when this was
+    // the hierarchy's last copy. Another core's surviving copy keeps the
+    // line alive privately — and it must stay out of the LLC (mutual
+    // exclusion); such copies are S, hence clean, so dropping ours loses
+    // nothing.
+    if (privately_held(ev.line)) return;
+    victim_fill_l3(now, ev, dirty);
+    return;
   }
   // Merge into the LLC and release the directory presence bit. Under
   // RIC a clean private line can outlive its LLC entry (relaxed
@@ -367,7 +492,21 @@ void System::handle_l2_eviction(Tick now, CoreId core,
     l3l.dirty = true;
     l3l.ever_written = true;  // silent E->M upgrades surface here
   }
-  (void)now;
+}
+
+void System::victim_fill_l3(Tick now, const EvictedLine& ev, bool dirty) {
+  auto r = l3_->fill(ev.line, sharp_.get());
+  if (r.evicted) {
+    handle_l3_eviction(now, *r.evicted, /*demand_caused=*/true);
+  }
+  CacheLine& l3l = l3_->line_for(ev.line, r.slot);
+  l3l.presence = 0;  // exclusive LLC lines have no private holders
+  l3l.dirty = dirty;
+  l3l.ever_written = dirty;
+  // An LLC-attached defense's Ping-Pong tag rides back with the victim;
+  // a private-level tag already fired its pEvict above and dies here.
+  l3l.pp_tag = cfg_.monitor_level == MonitorLevel::kLlc && ev.pp_tag;
+  l3l.pp_accessed = l3l.pp_tag && ev.pp_accessed;
 }
 
 void System::fill_l3(Tick now, LineAddr line, bool pp_tagged,
@@ -406,7 +545,7 @@ void System::handle_l3_eviction(Tick now, const EvictedLine& ev,
   // relies on — and what the pEvict/prefetch path obfuscates.
   for (CoreId c = 0; !ric_exempt && c < cfg_.num_cores; ++c) {
     if (ev.presence & bit(c)) {
-      dirty = invalidate_private(c, ev.line) || dirty;
+      dirty = invalidate_private(now, c, ev.line) || dirty;
       ++acc_->back_invalidations;
       active_monitor_->on_back_invalidation(now, ev.line);
     }
@@ -422,23 +561,107 @@ void System::handle_l3_eviction(Tick now, const EvictedLine& ev,
   }
 }
 
-bool System::invalidate_private(CoreId core, LineAddr line) {
+bool System::invalidate_private(Tick now, CoreId core, LineAddr line) {
   bool was_m = false;
   for (CacheArray* arr :
        {l1i_[core].get(), l1d_[core].get(), l2_[core].get()}) {
     if (auto e = arr->invalidate(line)) {
       was_m = was_m || e->state == Mesi::kModified;
+      note_private_removal(
+          now, arr == l2_[core].get() ? MonitorLevel::kL2 : MonitorLevel::kL1,
+          *e);
     }
   }
   return was_m;
 }
 
-void System::make_exclusive(CoreId writer, LineAddr line,
+void System::note_private_removal(Tick now, MonitorLevel level,
+                                  const EvictedLine& ev) {
+  if (cfg_.monitor_level != level || !ev.pp_tag) return;
+  // Involuntary removal of a tagged line from the attach level; demand
+  // traffic caused it in every private-level case (monitor prefetches
+  // only ever fill the LLC, so they cannot evict private lines).
+  active_monitor_->on_pevict(now, ev.line, ev.pp_accessed,
+                             /*demand_caused=*/true);
+  ++acc_->pevicts;
+}
+
+bool System::core_holds(CoreId core, LineAddr line) const {
+  return l2_[core]->lookup(line).has_value() ||
+         l1d_[core]->lookup(line).has_value() ||
+         l1i_[core]->lookup(line).has_value();
+}
+
+bool System::other_core_holds(CoreId core, LineAddr line) const {
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    if (c != core && core_holds(c, line)) return true;
+  }
+  return false;
+}
+
+bool System::privately_held(LineAddr line) const {
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    if (core_holds(c, line)) return true;
+  }
+  return false;
+}
+
+void System::snoop_transfer(Tick now, CoreId requester, LineAddr line,
+                            bool is_store) {
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    if (c == requester || !core_holds(c, line)) continue;
+    if (is_store) {
+      // The holder's dirty data (if any) travels to the new M copy.
+      invalidate_private(now, c, line);
+      ++acc_->invalidations_for_write;
+      continue;
+    }
+    // Read snoop: the holder degrades to S; an M holder's dirty data
+    // goes home first so every surviving S copy is clean.
+    bool was_m = false;
+    for (CacheArray* arr :
+         {l1i_[c].get(), l1d_[c].get(), l2_[c].get()}) {
+      if (auto slot = arr->lookup(line)) {
+        CacheLine& cl = arr->line(*slot);
+        was_m = was_m || cl.state == Mesi::kModified;
+        if (cl.state != Mesi::kInvalid) cl.state = Mesi::kShared;
+      }
+    }
+    if (was_m) {
+      mem_->writeback(now, line);
+      ++acc_->writebacks;
+    }
+  }
+}
+
+void System::upgrade_for_store(Tick now, CoreId core, LineAddr line) {
+  if (exclusive()) {
+    // No directory: a snoop round invalidates every other holder.
+    snoop_transfer(now, core, line, /*is_store=*/true);
+    return;
+  }
+  auto l3slot = l3_->lookup(line);
+  if (!l3slot) {
+    // RIC orphan: the private copy outlived its LLC line (relaxed
+    // inclusion). Re-establish the LLC entry before granting ownership —
+    // the write ends the line's read-only exemption. The fresh entry
+    // knows only about this writer, so sibling orphan copies (which
+    // make_exclusive's presence walk cannot see) must be reconciled
+    // away here or a stale S copy survives next to the new M.
+    fill_l3(now, line, false, false, core);
+    l3slot = l3_->lookup(line);
+    reconcile_ric_orphans(now, line, core, /*is_store=*/true,
+                          l3_->line_for(line, *l3slot));
+  }
+  make_exclusive(now, core, line, l3_->line_for(line, *l3slot));
+}
+
+void System::make_exclusive(Tick now, CoreId writer, LineAddr line,
                             CacheLine& l3_line) {
   l3_line.ever_written = true;
   for (CoreId c = 0; c < cfg_.num_cores; ++c) {
     if (c == writer || !(l3_line.presence & bit(c))) continue;
-    if (invalidate_private(c, line)) l3_line.dirty = true;
+    if (invalidate_private(now, c, line)) l3_line.dirty = true;
     ++acc_->invalidations_for_write;
   }
   l3_line.presence &= bit(writer);
@@ -470,8 +693,9 @@ void System::set_l2_state(CoreId core, LineAddr line, Mesi state) {
   // only because invalidations clear L1 and L2 together.
 }
 
-void System::reconcile_ric_orphans(LineAddr line, CoreId requester,
-                                   bool is_store, CacheLine& l3_line) {
+void System::reconcile_ric_orphans(Tick now, LineAddr line,
+                                   CoreId requester, bool is_store,
+                                   CacheLine& l3_line) {
   for (CoreId c = 0; c < cfg_.num_cores; ++c) {
     if (c == requester) continue;
     bool holds = false;
@@ -484,7 +708,8 @@ void System::reconcile_ric_orphans(LineAddr line, CoreId requester,
     }
     if (!holds) continue;
     if (is_store) {
-      invalidate_private(c, line);  // orphans are clean: nothing to merge
+      // orphans are clean: nothing to merge
+      invalidate_private(now, c, line);
       ++acc_->invalidations_for_write;
     } else {
       l3_line.presence |= bit(c);
@@ -524,6 +749,16 @@ std::string System::check_invariants() const {
         const CacheLine& l = l2_[c]->line(CacheSlot{set, w});
         if (!l.valid) continue;
         const auto l3slot = l3_->lookup(l.addr);
+        if (exclusive()) {
+          // Mutual exclusion: a privately held line must not also live
+          // in the victim LLC.
+          if (l3slot) {
+            err << "exclusive LLC also holds line " << std::hex << l.addr
+                << std::dec << " cached privately by core " << unsigned(c);
+            return err.str();
+          }
+          continue;
+        }
         if (!l3slot) {
           if (ric && l.state != Mesi::kModified) continue;  // RIC orphan
           err << "L2 line " << std::hex << l.addr << std::dec
@@ -537,6 +772,22 @@ std::string System::check_invariants() const {
           err << "directory presence bit of core " << unsigned(c)
               << " clear for resident line " << std::hex << l.addr;
           return err.str();
+        }
+      }
+    }
+  }
+  if (exclusive()) {
+    // The victim LLC keeps no directory: presence bits must stay clear.
+    for (std::uint32_t s = 0; s < l3_->num_slices(); ++s) {
+      const CacheArray& arr = l3_->slice(s);
+      for (std::size_t set = 0; set < arr.num_sets(); ++set) {
+        for (std::uint32_t w = 0; w < arr.ways(); ++w) {
+          const CacheLine& l = arr.line(CacheSlot{set, w});
+          if (l.valid && l.presence != 0) {
+            err << "exclusive LLC line " << std::hex << l.addr << std::dec
+                << " carries presence bits " << l.presence;
+            return err.str();
+          }
         }
       }
     }
@@ -583,8 +834,11 @@ void System::drain_prefetches(Tick now) {
   // Stage 1: pEvicts whose delay has elapsed become MC fetch requests.
   for (const auto& req : active_monitor_->take_due_prefetches(now)) {
     if (shards_) acc_ = &slice_deltas_[l3_->slice_of(req.line)];
-    if (l3_->lookup(req.line)) {
-      ++acc_->prefetch_drops;  // line came back on its own: drop
+    if (l3_->lookup(req.line) ||
+        (exclusive() && privately_held(req.line))) {
+      // Line came back on its own (or, in exclusive mode, lives
+      // privately and must stay out of the LLC): drop.
+      ++acc_->prefetch_drops;
       continue;
     }
     active_monitor_->on_prefetch_fetch(req.line);
@@ -598,7 +852,8 @@ void System::drain_prefetches(Tick now) {
     const InflightPrefetch pf = inflight_prefetch_.front();
     inflight_prefetch_.pop_front();
     if (shards_) acc_ = &slice_deltas_[l3_->slice_of(pf.line)];
-    if (l3_->lookup(pf.line)) {
+    if (l3_->lookup(pf.line) ||
+        (exclusive() && privately_held(pf.line))) {
       ++acc_->prefetch_drops;  // a demand fetch beat the prefetch back
       continue;
     }

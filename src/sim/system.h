@@ -14,9 +14,9 @@
 // fetch -> DRAM latency -> LLC fill, drained at every subsequent access
 // and by the driver's periodic uncore tick.
 //
-// Coherence model. Private L1/L2 lines carry MESI states; the inclusive
-// L3 acts as the directory via per-line presence bit-vectors. Protocol
-// actions implemented:
+// Coherence model. Private L1/L2 lines carry MESI states. Under the
+// default InclusionPolicy::kInclusive the L3 acts as the directory via
+// per-line presence bit-vectors. Protocol actions implemented:
 //   * read miss served by L3 while another core holds M/E: owner
 //     downgraded to S, LLC marked dirty (data merged).
 //   * write to an S line: directory upgrade, all other sharers
@@ -28,6 +28,21 @@
 //     property cross-core attacks exploit), writes back dirty data, and —
 //     when the line is Ping-Pong-tagged and was accessed — sends pEvict
 //     to the PiPoMonitor.
+//
+// Under InclusionPolicy::kExclusive the LLC is a victim cache: a line
+// lives in private caches OR the LLC, never both. Cross-core sharing is
+// resolved by snooping the other cores' arrays (cache-to-cache transfer
+// at LLC latency), an LLC hit moves the line back into the requester's
+// private caches, and an L2 eviction victim-fills the LLC only when it
+// was the hierarchy's last copy. There is no presence directory and no
+// back-invalidation channel — the attack surface the inclusive golden
+// matrix measures simply does not exist here.
+//
+// The active defense attaches at cfg.monitor_level: it observes misses
+// at that level, tags that level's fills, and receives pEvict when a
+// tagged line is involuntarily removed from that level (capacity
+// eviction, back-invalidation or coherence invalidation). Its
+// restorative prefetches always land in the LLC.
 #pragma once
 
 #include <cstdint>
@@ -202,6 +217,10 @@ class System {
  private:
   static std::uint32_t bit(CoreId c) { return 1u << c; }
 
+  bool exclusive() const {
+    return cfg_.inclusion == InclusionPolicy::kExclusive;
+  }
+
   void fill_l3(Tick now, LineAddr line, bool pp_tagged, bool from_prefetch,
                CoreId requester);
   /// `demand_caused`: the eviction was triggered by a demand fill rather
@@ -212,9 +231,10 @@ class System {
   void fill_private(Tick now, CoreId core, CacheArray& l1, LineAddr line,
                     Mesi state, bool l2_already_has);
   /// Invalidates the line in `core`'s L1s and L2; true if a copy was M.
-  bool invalidate_private(CoreId core, LineAddr line);
+  bool invalidate_private(Tick now, CoreId core, LineAddr line);
   /// Invalidates all sharers other than `writer` and grants it ownership.
-  void make_exclusive(CoreId writer, LineAddr line, CacheLine& l3_line);
+  void make_exclusive(Tick now, CoreId writer, LineAddr line,
+                      CacheLine& l3_line);
   /// Downgrades any M/E owner to S on a read by another core.
   void downgrade_owners(CoreId reader, LineAddr line, CacheLine& l3_line);
   void set_l2_state(CoreId core, LineAddr line, Mesi state);
@@ -222,8 +242,32 @@ class System {
   /// relaxed-inclusion orphan copies whose directory knowledge was
   /// dropped with the old LLC entry. Restores their presence bits (reads)
   /// or invalidates them (writes), so no stale copy can survive a writer.
-  void reconcile_ric_orphans(LineAddr line, CoreId requester, bool is_store,
-                             CacheLine& l3_line);
+  void reconcile_ric_orphans(Tick now, LineAddr line, CoreId requester,
+                             bool is_store, CacheLine& l3_line);
+  /// S->M upgrade on a private store hit: the directory transaction
+  /// (inclusive — re-establishing and reconciling a RIC orphan's LLC
+  /// entry first) or a snoop-invalidate of every other holder
+  /// (exclusive). The caller charges the LLC round trip and counter.
+  void upgrade_for_store(Tick now, CoreId core, LineAddr line);
+
+  // --- exclusive-mode machinery (InclusionPolicy::kExclusive) ---
+  /// Does `core` hold the line in any of its private arrays?
+  bool core_holds(CoreId core, LineAddr line) const;
+  bool other_core_holds(CoreId core, LineAddr line) const;
+  bool privately_held(LineAddr line) const;
+  /// Cache-to-cache service of `requester`'s L2 miss from whichever
+  /// cores hold the line: readers downgrade holders to S (an M holder's
+  /// dirty data goes home first), writers invalidate them.
+  void snoop_transfer(Tick now, CoreId requester, LineAddr line,
+                      bool is_store);
+  /// Victim-fills the LLC with an L2 eviction that was the hierarchy's
+  /// last copy of the line.
+  void victim_fill_l3(Tick now, const EvictedLine& ev, bool dirty);
+
+  /// pEvict for a line leaving a private array, fired iff the active
+  /// defense attaches at `level` and the line carried its tag.
+  void note_private_removal(Tick now, MonitorLevel level,
+                            const EvictedLine& ev);
 
   SystemConfig cfg_;
   std::vector<std::unique_ptr<CacheArray>> l1i_;

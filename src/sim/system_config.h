@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "cache/cache_config.h"
+#include "cache/slice_hash.h"
 #include "defense/bitp.h"
 #include "defense/directory_monitor.h"
 #include "defense/sharp.h"
@@ -26,6 +27,35 @@ enum class DefenseKind : std::uint8_t {
 
 const char* to_string(DefenseKind k);
 
+/// Relationship between the private caches and the shared LLC.
+enum class InclusionPolicy : std::uint8_t {
+  /// The LLC is a superset of every private cache and acts as the MESI
+  /// directory via per-line presence bits; evicting an LLC line
+  /// back-invalidates every private copy (the paper's Fig 2 machine).
+  kInclusive,
+  /// Victim-cache LLC: a line lives in private caches OR the LLC, never
+  /// both. Private evictions victim-fill the LLC (last-copy only),
+  /// LLC hits move the line back to the requester, and cross-core
+  /// sharing is resolved by snooping the other cores' arrays — there is
+  /// no back-invalidation channel for an attacker to exploit.
+  kExclusive,
+};
+
+const char* to_string(InclusionPolicy p);
+
+/// Which cache level the active defense's MonitorIface observes. The
+/// monitor sees misses at the attach level, tags that level's fills,
+/// and receives pEvict when a tagged line is involuntarily removed from
+/// that level; its restorative prefetches always land in the LLC (it
+/// cannot push lines into a core's private arrays uninvited).
+enum class MonitorLevel : std::uint8_t {
+  kL1,   ///< per-core L1I/L1D boundary
+  kL2,   ///< per-core private L2 boundary
+  kLlc,  ///< the shared LLC boundary (the paper's attachment point)
+};
+
+const char* to_string(MonitorLevel l);
+
 struct SystemConfig {
   std::uint32_t num_cores = 4;       ///< Table II: 4 cores at 2.0 GHz
   CacheConfig l1i = CacheConfig::l1i();
@@ -33,6 +63,12 @@ struct SystemConfig {
   CacheConfig l2 = CacheConfig::l2();
   CacheConfig l3 = CacheConfig::l3();  ///< aggregate size across slices
   std::uint32_t l3_slices = 4;       ///< one slice per core (Fig 2)
+  /// LLC inclusion variant; kInclusive is the paper's machine.
+  InclusionPolicy inclusion = InclusionPolicy::kInclusive;
+  /// Line-to-slice routing function (cache/slice_hash.h).
+  SliceHashKind slice_hash = SliceHashKind::kLowBits;
+  /// Defense attachment level; kLlc is the paper's design point.
+  MonitorLevel monitor_level = MonitorLevel::kLlc;
   MemConfig mem = MemConfig::paper_default();
   /// Active defense. kPiPoMonitor with monitor.enabled=false behaves as
   /// kNone (the historical baseline spelling).
@@ -63,6 +99,11 @@ struct SystemConfig {
     monitor.filter.validate();
     if (num_cores == 0 || num_cores > 32) {
       throw std::invalid_argument("num_cores must be in [1,32]");
+    }
+    if (slice_hash == SliceHashKind::kIntelCas &&
+        l3_slices > kMaxIntelCasSlices) {
+      throw std::invalid_argument(
+          "intel-cas slice hash supports at most 8 LLC slices");
     }
     if (shard_threads > 64) {
       throw std::invalid_argument("shard_threads must be in [0,64]");

@@ -30,6 +30,9 @@ CampaignSpec sample_spec() {
   spec.ws_div = 8;
   spec.shard_threads = 2;
   spec.epoch_ticks = 512;
+  spec.inclusion = InclusionPolicy::kExclusive;
+  spec.slice_hash = SliceHashKind::kIntelCas;
+  spec.monitor_level = MonitorLevel::kL2;
   spec.scenarios = {{"scen_a", "/tmp/rec/scen_a"},
                     {"scen \"b\"", "/tmp/rec/scen b"}};
   return spec;

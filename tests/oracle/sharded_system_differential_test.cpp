@@ -174,6 +174,11 @@ struct ReplayResult {
   std::vector<System::AccessOutcome> outcomes;
   System::Stats final_stats;
   std::string invariants;
+  /// First structural-invariant violation observed at an epoch barrier
+  /// (sharded runs audit the machine at EVERY epoch boundary, so a
+  /// protocol corruption fails the oracle at the epoch that introduced
+  /// it, not just at end of trace).
+  std::string epoch_invariants;
   std::vector<EpochRecord> epochs;  ///< sharded runs only
 };
 
@@ -185,15 +190,23 @@ ReplayResult replay(const SystemConfig& cfg, const std::vector<Op>& ops,
   System sys(cfg);
   ReplayResult r;
   if (sys.sharded()) {
-    sys.set_epoch_observer([&r](std::uint64_t epoch, Tick end,
-                                const System::Stats* per_slice,
-                                std::uint32_t n) {
+    sys.set_epoch_observer([&r, &sys](std::uint64_t epoch, Tick end,
+                                      const System::Stats* per_slice,
+                                      std::uint32_t n) {
       EpochRecord rec;
       rec.epoch = epoch;
       rec.end = end;
       rec.per_slice.assign(per_slice, per_slice + n);
       for (std::uint32_t s = 0; s < n; ++s) rec.total += per_slice[s];
       r.epochs.push_back(std::move(rec));
+      // The barrier runs on the driver thread with the workers doing
+      // only pure routing, so the full structural audit is safe here.
+      if (r.epoch_invariants.empty()) {
+        if (std::string v = sys.check_invariants(); !v.empty()) {
+          r.epoch_invariants =
+              "epoch " + std::to_string(epoch) + ": " + v;
+        }
+      }
     });
   }
   Tick next_drain = kDrainPeriod;
@@ -227,6 +240,8 @@ std::vector<System::Stats> serial_epoch_deltas(const SystemConfig& cfg,
   Tick epoch_end = epoch_ticks;
   const auto boundary = [&](Tick now) {
     if (now < epoch_end) return;
+    EXPECT_EQ(sys.check_invariants(), "")
+        << "serial engine inconsistent at epoch boundary " << epoch_end;
     const System::Stats snap = sys.stats();
     deltas.push_back(sub(snap, prev));
     prev = snap;
@@ -273,6 +288,8 @@ void expect_equivalent(const ReplayResult& serial, const ReplayResult& shd) {
       << "final System::Stats diverged";
   EXPECT_EQ(serial.invariants, "");
   EXPECT_EQ(shd.invariants, "");
+  EXPECT_EQ(serial.epoch_invariants, "");
+  EXPECT_EQ(shd.epoch_invariants, "");
 }
 
 SystemConfig defense_cfg(DefenseKind kind, std::uint32_t slices = 4) {

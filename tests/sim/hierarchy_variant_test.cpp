@@ -1,0 +1,253 @@
+// Directed semantics tests for the composable hierarchy variants:
+// the exclusive (victim-cache) LLC's move/victim-fill/snoop protocol,
+// and the per-level monitor attachment (MonitorLevel). The randomized
+// cross-product lives in tests/oracle/coherence_oracle_test.cpp; these
+// pin the individual transitions the oracle only exercises in bulk.
+#include <gtest/gtest.h>
+
+#include "sim/system.h"
+#include "tests/sim/test_configs.h"
+
+namespace pipo {
+namespace {
+
+using testcfg::mini;
+using testcfg::mini_baseline;
+using testcfg::mini_l3_stride;
+
+SystemConfig exclusive_baseline() {
+  SystemConfig cfg = mini_baseline();
+  cfg.defense = DefenseKind::kNone;
+  cfg.inclusion = InclusionPolicy::kExclusive;
+  return cfg;
+}
+
+/// Pushes `line X` out of `core`'s private caches by loading enough
+/// lines congruent in its L2 set (mini L2: 8 KB / 4-way = 32-set, so
+/// congruent lines repeat every 32 lines). Strides of 32 lines stay
+/// clear of X's LLC set (mini LLC sets repeat every 64 lines only for
+/// even multiples, and the 8-way slice sets absorb them regardless).
+Tick displace_from_private(System& sys, Tick t, CoreId core, Addr x,
+                           int n = 4) {
+  for (int k = 1; k <= n; ++k) {
+    sys.access(t, core, x + byte_of(k * 32ull), AccessType::kLoad);
+    t += 100;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------
+// Exclusive-LLC transitions.
+
+TEST(ExclusiveLlc, MemoryFillGoesStraightToPrivate) {
+  System sys(exclusive_baseline());
+  const auto out = sys.access(0, 0, byte_of(9), AccessType::kLoad);
+  EXPECT_EQ(out.level, HitLevel::kMemory);
+  EXPECT_TRUE(sys.l1d(0).lookup(9).has_value());
+  EXPECT_FALSE(sys.l3().lookup(9).has_value())
+      << "exclusive memory fills must not populate the LLC";
+  EXPECT_EQ(sys.check_invariants(), "");
+}
+
+TEST(ExclusiveLlc, PrivateEvictionVictimFillsAndLlcHitMovesBack) {
+  System sys(exclusive_baseline());
+  Tick t = 0;
+  sys.access(t, 0, byte_of(9), AccessType::kLoad);
+  t = displace_from_private(sys, t + 100, 0, byte_of(9));
+  ASSERT_FALSE(sys.l2(0).lookup(9).has_value());
+  EXPECT_TRUE(sys.l3().lookup(9).has_value())
+      << "the last private copy must victim-fill the LLC";
+
+  const auto out = sys.access(t, 0, byte_of(9), AccessType::kLoad);
+  EXPECT_EQ(out.level, HitLevel::kL3);
+  EXPECT_TRUE(sys.l1d(0).lookup(9).has_value());
+  EXPECT_FALSE(sys.l3().lookup(9).has_value())
+      << "an LLC hit must MOVE the line back, not copy it";
+  EXPECT_EQ(sys.check_invariants(), "");
+}
+
+TEST(ExclusiveLlc, DirtyVictimMovedByLoadWritesBackFirst) {
+  System sys(exclusive_baseline());
+  Tick t = 0;
+  sys.access(t, 0, byte_of(9), AccessType::kStore);  // line is M
+  t = displace_from_private(sys, t + 100, 0, byte_of(9));
+  ASSERT_TRUE(sys.l3().lookup(9).has_value());
+  const auto before = sys.stats().writebacks;
+
+  // A *load* moving a dirty victim back may not silently inherit M:
+  // the move writes the line back and refills it clean in E.
+  sys.access(t, 1, byte_of(9), AccessType::kLoad);
+  EXPECT_EQ(sys.stats().writebacks, before + 1);
+  const auto slot = sys.l1d(1).lookup(9);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(sys.l1d(1).line(*slot).state, Mesi::kExclusive);
+  EXPECT_EQ(sys.check_invariants(), "");
+}
+
+TEST(ExclusiveLlc, CrossCoreStoreSnoopsAndInvalidates) {
+  System sys(exclusive_baseline());
+  Tick t = 0;
+  sys.access(t, 0, byte_of(9), AccessType::kLoad);
+  t += 100;
+  // Core 1's store finds no LLC copy; the snoop must still reach core
+  // 0's arrays and invalidate its copy (there is no directory to ask).
+  sys.access(t, 1, byte_of(9), AccessType::kStore);
+  EXPECT_FALSE(sys.l1d(0).lookup(9).has_value());
+  EXPECT_GT(sys.stats().invalidations_for_write, 0u);
+  const auto slot = sys.l1d(1).lookup(9);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(sys.l1d(1).line(*slot).state, Mesi::kModified);
+  EXPECT_EQ(sys.check_invariants(), "");
+}
+
+TEST(ExclusiveLlc, CrossCoreReadDowngradesWriterAndWritesBack) {
+  System sys(exclusive_baseline());
+  Tick t = 0;
+  sys.access(t, 0, byte_of(9), AccessType::kStore);
+  t += 100;
+  const auto before = sys.stats().writebacks;
+  sys.access(t, 1, byte_of(9), AccessType::kLoad);
+  EXPECT_EQ(sys.stats().writebacks, before + 1)
+      << "snooped M data must be written back when it degrades to S";
+  const auto s0 = sys.l1d(0).lookup(9);
+  ASSERT_TRUE(s0.has_value());
+  EXPECT_EQ(sys.l1d(0).line(*s0).state, Mesi::kShared);
+  const auto s1 = sys.l1d(1).lookup(9);
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(sys.l1d(1).line(*s1).state, Mesi::kShared);
+  EXPECT_EQ(sys.check_invariants(), "");
+}
+
+TEST(ExclusiveLlc, BypassProbeOfPrivatelyHeldLineLeavesHolderAlone) {
+  System sys(exclusive_baseline());
+  Tick t = 0;
+  sys.access(t, 0, byte_of(9), AccessType::kStore);
+  t += 100;
+  const auto out =
+      sys.access(t, 1, byte_of(9), AccessType::kLoad, /*bypass=*/true);
+  EXPECT_EQ(out.level, HitLevel::kL3);
+  EXPECT_FALSE(sys.l3().lookup(9).has_value())
+      << "the probe must not copy a privately held line into the LLC";
+  const auto s0 = sys.l1d(0).lookup(9);
+  ASSERT_TRUE(s0.has_value());
+  EXPECT_EQ(sys.l1d(0).line(*s0).state, Mesi::kModified)
+      << "a bypass probe is not a coherent read; the writer keeps M";
+  EXPECT_EQ(sys.check_invariants(), "");
+}
+
+TEST(ExclusiveLlc, NoBackInvalidationChannelExists) {
+  // The conflict-eviction channel PiPoMonitor defends: under the
+  // inclusive LLC an attacker thrashing a set back-invalidates the
+  // victim's private copy; the victim LLC has no such channel, so the
+  // victim keeps hitting its L1 no matter how hard the set is thrashed.
+  System sys(exclusive_baseline());
+  Tick t = 0;
+  sys.access(t, 1, byte_of(9), AccessType::kLoad);
+  t += 100;
+  const std::uint64_t stride = mini_l3_stride();
+  for (std::uint64_t k = 1; k <= 24; ++k) {
+    sys.access(t, 0, byte_of(9 + k * stride), AccessType::kLoad);
+    t += 100;
+  }
+  EXPECT_EQ(sys.stats().back_invalidations, 0u);
+  const auto out = sys.access(t, 1, byte_of(9), AccessType::kLoad);
+  EXPECT_EQ(out.level, HitLevel::kL1);
+  EXPECT_EQ(sys.check_invariants(), "");
+}
+
+// ---------------------------------------------------------------------
+// Monitor attachment level.
+
+constexpr Addr kTarget = 0x0;
+constexpr Addr kStride = 4096;  // L3-congruent line stride (bytes)
+
+/// The pipo_integration_test conflict-eviction loop: attacker core 0
+/// evicts kTarget's LLC set each round; victim core 1 refetches.
+Tick attack_round(System& sys, Tick t, int round) {
+  sys.access(t, 1, kTarget, AccessType::kLoad);
+  t += 300;
+  for (int i = 1; i <= 8; ++i) {
+    sys.access(t, 0, kTarget + static_cast<Addr>(round * 8 + i) * kStride,
+               AccessType::kLoad);
+    t += 300;
+  }
+  return t;
+}
+
+TEST(MonitorLevel_, DetectionWorksAtEveryAttachLevel) {
+  // The same cross-core conflict-eviction attack is visible at every
+  // level: the victim's refetch misses L1, L2 and the LLC, and the
+  // back-invalidation removes its copy from all three. Attached at any
+  // of them, the monitor must capture the Ping-Pong line and later see
+  // the pEvict.
+  for (MonitorLevel level :
+       {MonitorLevel::kL1, MonitorLevel::kL2, MonitorLevel::kLlc}) {
+    SystemConfig cfg = mini();
+    cfg.monitor_level = level;
+    System sys(cfg);
+    Tick t = 0;
+    for (int round = 0; round < 5; ++round) t = attack_round(sys, t, round);
+    EXPECT_GT(sys.monitor().captures(), 0u) << to_string(level);
+    EXPECT_GT(sys.stats().pp_tag_fills, 0u) << to_string(level);
+    EXPECT_GT(sys.stats().pevicts, 0u) << to_string(level);
+    EXPECT_EQ(sys.check_invariants(), "") << to_string(level);
+  }
+}
+
+TEST(MonitorLevel_, TagLandsOnTheAttachLevelLine) {
+  SystemConfig cfg = mini();
+  cfg.monitor_level = MonitorLevel::kL2;
+  System sys(cfg);
+  Tick t = 0;
+  // Four rounds reach the capture threshold; the 5th refetch is tagged.
+  for (int round = 0; round < 4; ++round) t = attack_round(sys, t, round);
+  sys.access(t, 1, kTarget, AccessType::kLoad);
+  const auto l2slot = sys.l2(1).lookup(line_of(kTarget));
+  ASSERT_TRUE(l2slot.has_value());
+  EXPECT_TRUE(sys.l2(1).line(*l2slot).pp_tag)
+      << "kL2 attachment must tag the victim's L2 line";
+  // (The LLC copy may ALSO carry the tag: a restorative prefetch lives
+  // only in the LLC, so it keeps the tag there — at any attach level —
+  // to keep the re-eviction -> pEvict -> restore loop alive.)
+  EXPECT_FALSE(sys.l1d(1).lookup(line_of(kTarget)).has_value() &&
+               sys.l1d(1).line(*sys.l1d(1).lookup(line_of(kTarget))).pp_tag)
+      << "the L1 copy is not the monitored line at kL2 attachment";
+}
+
+TEST(MonitorLevel_, PrefetchRestoresIntoTheLlcRegardlessOfLevel) {
+  // The monitor may never push lines into a core's private arrays: its
+  // restorative prefetch lands in the LLC even when attached at L1/L2,
+  // so the victim's next access is an LLC hit instead of a DRAM miss.
+  for (MonitorLevel level : {MonitorLevel::kL1, MonitorLevel::kL2}) {
+    SystemConfig cfg = mini();
+    cfg.monitor_level = level;
+    System sys(cfg);
+    Tick t = 0;
+    for (int round = 0; round < 5; ++round) t = attack_round(sys, t, round);
+    EXPECT_GT(sys.monitor().prefetches_issued(), 0u) << to_string(level);
+    sys.drain_prefetches(t + 10'000);
+    ASSERT_FALSE(sys.l1d(1).lookup(line_of(kTarget)).has_value());
+    const auto out = sys.access(t + 10'000, 1, kTarget, AccessType::kLoad);
+    EXPECT_EQ(out.level, HitLevel::kL3) << to_string(level);
+  }
+}
+
+TEST(MonitorLevel_, BypassProbesAreInvisibleToPrivateAttachLevels) {
+  // A bypass probe never enters the private caches, so a monitor
+  // attached there must see nothing: no observation, no tag, no pEvict.
+  SystemConfig cfg = mini();
+  cfg.monitor_level = MonitorLevel::kL1;
+  System sys(cfg);
+  Tick t = 0;
+  for (int i = 0; i < 200; ++i) {
+    sys.access(t, 0, kTarget + static_cast<Addr>(i % 16) * kStride,
+               AccessType::kLoad, /*bypass=*/true);
+    t += 100;
+  }
+  EXPECT_EQ(sys.monitor().captures(), 0u);
+  EXPECT_EQ(sys.stats().pp_tag_fills, 0u);
+  EXPECT_EQ(sys.stats().pevicts, 0u);
+}
+
+}  // namespace
+}  // namespace pipo
