@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
 
 namespace pipo {
 
@@ -54,6 +57,194 @@ double best_decoder_accuracy(const LeakageCounts& c) {
 double trace_leakage_bits(const std::vector<bool>& key,
                           const std::vector<bool>& observed) {
   return mutual_information_bits(tally(key, observed));
+}
+
+// ------------------------------------------------------------------
+// Generalized multi-symbol estimator.
+
+SymbolTally::SymbolTally(std::uint32_t key_syms, std::uint32_t obs_syms)
+    : key_symbols(key_syms), obs_symbols(obs_syms) {
+  if (key_syms == 0 || obs_syms == 0) {
+    throw std::invalid_argument("SymbolTally: alphabets must be non-empty");
+  }
+  counts.assign(static_cast<std::size_t>(key_syms) * obs_syms, 0);
+}
+
+std::uint64_t& SymbolTally::at(std::uint32_t k, std::uint32_t o) {
+  if (k >= key_symbols || o >= obs_symbols) {
+    throw std::out_of_range("SymbolTally::at: symbol out of alphabet");
+  }
+  return counts[static_cast<std::size_t>(k) * obs_symbols + o];
+}
+
+std::uint64_t SymbolTally::at(std::uint32_t k, std::uint32_t o) const {
+  if (k >= key_symbols || o >= obs_symbols) {
+    throw std::out_of_range("SymbolTally::at: symbol out of alphabet");
+  }
+  return counts[static_cast<std::size_t>(k) * obs_symbols + o];
+}
+
+std::uint64_t SymbolTally::total() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t c : counts) n += c;
+  return n;
+}
+
+void SymbolTally::validate() const {
+  const std::size_t want =
+      static_cast<std::size_t>(key_symbols) * obs_symbols;
+  if (counts.size() != want) {
+    throw std::invalid_argument(
+        "SymbolTally: corrupt table — " + std::to_string(counts.size()) +
+        " cells for a " + std::to_string(key_symbols) + "x" +
+        std::to_string(obs_symbols) + " alphabet");
+  }
+  // An empty-alphabet tally can only be the default-constructed empty
+  // table; any counts smuggled into it are structural corruption.
+  if ((key_symbols == 0 || obs_symbols == 0) && !counts.empty()) {
+    throw std::invalid_argument("SymbolTally: counts with empty alphabet");
+  }
+}
+
+SymbolTally tally_symbols(const std::vector<std::uint32_t>& key,
+                          const std::vector<std::uint32_t>& observed,
+                          std::uint32_t key_symbols,
+                          std::uint32_t obs_symbols) {
+  if (key.size() != observed.size()) {
+    throw std::invalid_argument(
+        "tally_symbols: trace length mismatch (" +
+        std::to_string(key.size()) + " keys vs " +
+        std::to_string(observed.size()) + " observations)");
+  }
+  SymbolTally t(key_symbols, obs_symbols);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (key[i] >= key_symbols) {
+      throw std::invalid_argument("tally_symbols: key symbol " +
+                                  std::to_string(key[i]) + " at index " +
+                                  std::to_string(i) + " outside alphabet of " +
+                                  std::to_string(key_symbols));
+    }
+    if (observed[i] >= obs_symbols) {
+      throw std::invalid_argument(
+          "tally_symbols: observation symbol " + std::to_string(observed[i]) +
+          " at index " + std::to_string(i) + " outside alphabet of " +
+          std::to_string(obs_symbols));
+    }
+    ++t.at(key[i], observed[i]);
+  }
+  return t;
+}
+
+namespace {
+
+/// Shannon entropy in bits of the counts-vector distribution.
+double entropy_of(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double x : p) {
+    if (x > 0.0) h -= x * std::log2(x);
+  }
+  return std::max(0.0, h);
+}
+
+}  // namespace
+
+double mutual_information_bits(const SymbolTally& t) {
+  t.validate();
+  const double n = static_cast<double>(t.total());
+  if (n == 0) return 0.0;
+  std::vector<double> pk(t.key_symbols, 0.0), po(t.obs_symbols, 0.0);
+  for (std::uint32_t k = 0; k < t.key_symbols; ++k) {
+    for (std::uint32_t o = 0; o < t.obs_symbols; ++o) {
+      const double p = static_cast<double>(t.at(k, o)) / n;
+      pk[k] += p;
+      po[o] += p;
+    }
+  }
+  double mi = 0.0;
+  for (std::uint32_t k = 0; k < t.key_symbols; ++k) {
+    for (std::uint32_t o = 0; o < t.obs_symbols; ++o) {
+      const double pko = static_cast<double>(t.at(k, o)) / n;
+      if (pko > 0.0 && pk[k] > 0.0 && po[o] > 0.0) {
+        mi += pko * std::log2(pko / (pk[k] * po[o]));
+      }
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+double key_entropy_bits(const SymbolTally& t) {
+  t.validate();
+  const double n = static_cast<double>(t.total());
+  if (n == 0) return 0.0;
+  std::vector<double> pk(t.key_symbols, 0.0);
+  for (std::uint32_t k = 0; k < t.key_symbols; ++k) {
+    for (std::uint32_t o = 0; o < t.obs_symbols; ++o) {
+      pk[k] += static_cast<double>(t.at(k, o)) / n;
+    }
+  }
+  return entropy_of(pk);
+}
+
+double obs_entropy_bits(const SymbolTally& t) {
+  t.validate();
+  const double n = static_cast<double>(t.total());
+  if (n == 0) return 0.0;
+  std::vector<double> po(t.obs_symbols, 0.0);
+  for (std::uint32_t o = 0; o < t.obs_symbols; ++o) {
+    for (std::uint32_t k = 0; k < t.key_symbols; ++k) {
+      po[o] += static_cast<double>(t.at(k, o)) / n;
+    }
+  }
+  return entropy_of(po);
+}
+
+double best_decoder_accuracy(const SymbolTally& t) {
+  t.validate();
+  const double n = static_cast<double>(t.total());
+  if (n == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (std::uint32_t o = 0; o < t.obs_symbols; ++o) {
+    std::uint64_t best = 0;
+    for (std::uint32_t k = 0; k < t.key_symbols; ++k) {
+      best = std::max(best, t.at(k, o));
+    }
+    correct += best;
+  }
+  return static_cast<double>(correct) / n;
+}
+
+MiSignificance permutation_test_mi(const std::vector<std::uint32_t>& key,
+                                   const std::vector<std::uint32_t>& observed,
+                                   std::uint32_t key_symbols,
+                                   std::uint32_t obs_symbols,
+                                   std::uint32_t rounds,
+                                   std::uint64_t seed) {
+  MiSignificance out;
+  out.rounds = rounds;
+  out.mi_bits =
+      mutual_information_bits(tally_symbols(key, observed, key_symbols,
+                                            obs_symbols));
+  if (key.empty() || rounds == 0) {
+    // Nothing to test against: report the (zero) MI as insignificant.
+    out.p_value = 1.0;
+    return out;
+  }
+  Rng rng(seed);
+  std::vector<std::uint32_t> shuffled = observed;
+  std::uint32_t at_least = 0;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    // Fisher–Yates on the observation trace: the marginals are
+    // preserved exactly, only the (K, O) pairing is destroyed — the
+    // null distribution of the plug-in estimator at these sample sizes.
+    for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+      std::swap(shuffled[i], shuffled[rng.below(i + 1)]);
+    }
+    const double perm_mi = mutual_information_bits(
+        tally_symbols(key, shuffled, key_symbols, obs_symbols));
+    if (perm_mi >= out.mi_bits - 1e-12) ++at_least;
+  }
+  out.p_value = (1.0 + at_least) / (1.0 + rounds);
+  return out;
 }
 
 }  // namespace pipo

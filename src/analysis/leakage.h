@@ -1,18 +1,27 @@
 // Information-theoretic leakage quantification for attack traces.
 //
 // Fig 6 argues visually that PiPoMonitor destroys the attacker's signal.
-// This module makes the claim quantitative: treat the key bit K and the
-// attacker's per-iteration observation O as a joint binary distribution
+// This module makes the claim quantitative: treat the key K and the
+// attacker's per-iteration observation O as a joint distribution
 // estimated from the experiment trace and compute the mutual information
 // I(K; O) in bits per iteration. An undefended attack channels ~1 bit of
 // the key per iteration (O tracks K); a perfect defense forces
 // I(K; O) = 0 (O is independent of K, whether constantly-on as in
 // Fig 6(b) or constantly-off).
 //
-// The estimator is the plug-in (maximum-likelihood) estimator over the
-// 2x2 contingency table; with 100-iteration traces its bias
-// (~1/(2N ln 2) per degree of freedom) is far below the effects measured
-// here.
+// Two estimator families live here:
+//
+//  * The original 2x2 binary plug-in estimator (LeakageCounts) over
+//    (key bit, boolean observation) — kept verbatim for the Fig 6
+//    pipeline and its tests.
+//  * The generalized multi-symbol estimator (SymbolTally) over
+//    arbitrary small alphabets — the fuzzer's scoring metric
+//    (src/fuzz/), where the observation is a quantized probe-latency
+//    histogram symbol rather than a single bit. It adds the marginal
+//    entropies (for the I <= min(H(K), H(O)) bound), a MAP decoder
+//    accuracy, and a permutation-test significance gate so estimator
+//    bias on small samples (~(|K|-1)(|O|-1)/(2N ln 2)) can never
+//    promote noise into a "leak".
 #pragma once
 
 #include <cstdint>
@@ -41,11 +50,83 @@ double mutual_information_bits(const LeakageCounts& c);
 /// Channel accuracy of the *best* single-threshold decoder: max over the
 /// two decodings (O, !O) of P(decode(O) == K). 0.5 + |correlation|/2 for
 /// a binary channel; 1.0 = perfect leak, 0.5 = nothing (for balanced
-/// keys).
+/// keys). (The multi-symbol best_decoder_accuracy(SymbolTally) below is
+/// the MAP decoder, which on a 2x2 table is >= this threshold decoder —
+/// the two are intentionally distinct definitions.)
 double best_decoder_accuracy(const LeakageCounts& c);
 
 /// Convenience: I(K; O) straight from the two trace rows.
 double trace_leakage_bits(const std::vector<bool>& key,
                           const std::vector<bool>& observed);
+
+// ------------------------------------------------------------------
+// Generalized multi-symbol estimator.
+
+/// Joint contingency table over small symbol alphabets: counts of
+/// (key symbol in [0, key_symbols), observation symbol in
+/// [0, obs_symbols)), row-major by key symbol.
+struct SymbolTally {
+  std::uint32_t key_symbols = 0;
+  std::uint32_t obs_symbols = 0;
+  std::vector<std::uint64_t> counts;  ///< key_symbols * obs_symbols cells
+
+  SymbolTally() = default;
+  /// Throws std::invalid_argument if either alphabet is empty.
+  SymbolTally(std::uint32_t key_syms, std::uint32_t obs_syms);
+
+  /// Bounds-checked cell access (throws std::out_of_range).
+  std::uint64_t& at(std::uint32_t k, std::uint32_t o);
+  std::uint64_t at(std::uint32_t k, std::uint32_t o) const;
+
+  std::uint64_t total() const;
+
+  /// Throws std::invalid_argument if the table is structurally corrupt
+  /// (counts.size() != key_symbols * obs_symbols, or an empty alphabet
+  /// with nonzero counts). Every estimator below calls this first so a
+  /// corrupted tally is a checked error, never a silent wrong number.
+  void validate() const;
+};
+
+/// Tallies two symbol traces (equal length; every symbol must be inside
+/// its declared alphabet — violations throw std::invalid_argument with
+/// the trace index).
+SymbolTally tally_symbols(const std::vector<std::uint32_t>& key,
+                          const std::vector<std::uint32_t>& observed,
+                          std::uint32_t key_symbols,
+                          std::uint32_t obs_symbols);
+
+/// Plug-in mutual information I(K; O) in bits (0 on an empty tally).
+double mutual_information_bits(const SymbolTally& t);
+
+/// Marginal plug-in entropies H(K) and H(O) in bits — the ceilings of
+/// the data-processing bound 0 <= I(K;O) <= min(H(K), H(O)) that the
+/// property suite enforces.
+double key_entropy_bits(const SymbolTally& t);
+double obs_entropy_bits(const SymbolTally& t);
+
+/// Empirical MAP decoder accuracy: sum over observation symbols of the
+/// majority key count, / N. 1.0 = the observation determines the key in
+/// this sample; max marginal key frequency = the observation helps not
+/// at all. 0 on an empty tally.
+double best_decoder_accuracy(const SymbolTally& t);
+
+/// Permutation-test significance of the measured mutual information:
+/// `rounds` seeded random re-pairings of the observation trace against
+/// the key trace, p = (1 + #{I_perm >= I_observed}) / (1 + rounds) —
+/// the add-one form, so p can never reach 0 and the minimum resolvable
+/// p is 1/(rounds+1). A genuinely independent channel draws p uniformly
+/// in (0, 1]; the fuzzer's corpus gate demands p below a threshold so
+/// plug-in bias on short traces never enters the corpus as a "find".
+struct MiSignificance {
+  double mi_bits = 0.0;   ///< observed I(K; O)
+  double p_value = 1.0;
+  std::uint32_t rounds = 0;
+};
+MiSignificance permutation_test_mi(const std::vector<std::uint32_t>& key,
+                                   const std::vector<std::uint32_t>& observed,
+                                   std::uint32_t key_symbols,
+                                   std::uint32_t obs_symbols,
+                                   std::uint32_t rounds,
+                                   std::uint64_t seed);
 
 }  // namespace pipo

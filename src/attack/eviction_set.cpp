@@ -1,17 +1,30 @@
 #include "attack/eviction_set.h"
 
+#include <stdexcept>
+
 namespace pipo {
 
 std::vector<Addr> build_eviction_set(const LlcGeometry& geo, Addr target,
                                      std::size_t count, Addr attacker_base) {
+  return build_eviction_set_strided(geo, target, count, attacker_base, 1);
+}
+
+std::vector<Addr> build_eviction_set_strided(const LlcGeometry& geo,
+                                             Addr target, std::size_t count,
+                                             Addr attacker_base,
+                                             std::uint64_t stride_mul) {
+  if (stride_mul == 0) {
+    throw std::invalid_argument("eviction-set stride multiplier must be >= 1");
+  }
   const LineAddr target_line = line_of(target);
-  const std::uint64_t stride = geo.stride_lines();
-  const LineAddr residue = target_line % stride;
+  const std::uint64_t stride = geo.stride_lines() * stride_mul;
+  const LineAddr residue = target_line % geo.stride_lines();
 
   // First congruent line at or above the attacker's region.
   LineAddr base_line = line_of(attacker_base);
-  LineAddr first = base_line - (base_line % stride) + residue;
-  if (first < base_line) first += stride;
+  LineAddr first =
+      base_line - (base_line % geo.stride_lines()) + residue;
+  if (first < base_line) first += geo.stride_lines();
 
   std::vector<Addr> set;
   set.reserve(count);

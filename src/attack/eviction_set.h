@@ -45,4 +45,15 @@ struct LlcGeometry {
 std::vector<Addr> build_eviction_set(const LlcGeometry& geo, Addr target,
                                      std::size_t count, Addr attacker_base);
 
+/// Shape-varied construction for the scenario fuzzer (src/fuzz/): takes
+/// every `stride_mul`-th congruent line instead of consecutive ones, so
+/// the set spans a stride_mul-times larger address footprint (different
+/// page/L2-set spread, same LLC congruence class). stride_mul == 1 is
+/// exactly build_eviction_set. Throws std::invalid_argument on a zero
+/// stride.
+std::vector<Addr> build_eviction_set_strided(const LlcGeometry& geo,
+                                             Addr target, std::size_t count,
+                                             Addr attacker_base,
+                                             std::uint64_t stride_mul);
+
 }  // namespace pipo

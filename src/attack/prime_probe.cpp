@@ -5,9 +5,17 @@
 namespace pipo {
 
 PrimeProbeAttacker::PrimeProbeAttacker(AttackerConfig cfg)
-    : cfg_(std::move(cfg)) {
+    : cfg_(std::move(cfg)), mix_rng_(cfg_.mix_seed) {
   if (cfg_.eviction_sets.empty()) {
     throw std::invalid_argument("attacker needs at least one eviction set");
+  }
+  if (cfg_.bypass_pct > 100) {
+    throw std::invalid_argument("bypass_pct must be in [0,100]");
+  }
+  // pre_delay is a 32-bit field; a larger far_delay would silently
+  // truncate into a *different* schedule.
+  if (cfg_.far_delay > (Tick{1} << 30)) {
+    throw std::invalid_argument("far_delay must be <= 2^30 ticks");
   }
   for (const auto& set : cfg_.eviction_sets) {
     if (set.empty()) {
@@ -19,6 +27,8 @@ PrimeProbeAttacker::PrimeProbeAttacker(AttackerConfig cfg)
                    std::vector<bool>(cfg_.traversals, false));
   misses_.assign(cfg_.eviction_sets.size(),
                  std::vector<std::uint32_t>(cfg_.traversals, 0));
+  latency_.assign(cfg_.eviction_sets.size(),
+                  std::vector<std::uint64_t>(cfg_.traversals, 0));
 }
 
 std::pair<std::size_t, std::size_t> PrimeProbeAttacker::locate(
@@ -42,12 +52,26 @@ std::optional<MemRequest> PrimeProbeAttacker::next(Tick now) {
   req.addr = cfg_.eviction_sets[target][idx];
   req.type = AccessType::kLoad;
   req.bypass_private = cfg_.llc_probes;
+  // Mixed probe pattern: a bypass_pct below 100 sends the remainder of
+  // the probes through the private hierarchy. The historical pure
+  // pattern (100) must stay byte-identical, so the RNG is only drawn
+  // when a mix is actually configured.
+  if (cfg_.llc_probes && cfg_.bypass_pct < 100) {
+    req.bypass_private = mix_rng_.below(100) < cfg_.bypass_pct;
+  }
   if (pos_ == 0) {
     // Pace the traversal start on the absolute schedule k * interval.
     const Tick when = static_cast<Tick>(traversal_) * cfg_.interval;
     req.pre_delay = when > now ? static_cast<std::uint32_t>(when - now) : 0;
   } else {
     req.pre_delay = 0;  // pointer-chase through the set back-to-back
+  }
+  // Calendar-deep perturbation: push every far_period-th probe far into
+  // the future (the event queue's calendar tier). Self-delay only — the
+  // absolute pacing above re-synchronizes the following traversal.
+  if (cfg_.far_period != 0 &&
+      ++probes_issued_ % cfg_.far_period == 0) {
+    req.pre_delay += static_cast<std::uint32_t>(cfg_.far_delay);
   }
   return req;
 }
@@ -57,6 +81,7 @@ void PrimeProbeAttacker::on_complete(const MemRequest&, Tick issued,
   const std::uint32_t latency =
       static_cast<std::uint32_t>(completed - issued);
   const std::size_t target = locate(pos_).first;
+  latency_[target][traversal_] += latency;
   if (latency > cfg_.miss_threshold) {
     ++misses_[target][traversal_];
     observed_[target][traversal_] = true;

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 #include "sim/workload_if.h"
 
@@ -39,6 +40,24 @@ struct AttackerConfig {
   /// L1/L2 absorb probes, stale-dating its lines in the LLC replacement
   /// order and blinding the attack with self-eviction noise.
   bool llc_probes = true;
+
+  // --- fuzzer-explored schedule variations (src/fuzz/). The defaults
+  // reproduce the historical attacker bit for bit: with bypass_pct at
+  // 100 no RNG is ever drawn and with far_period 0 no delay is ever
+  // injected, so existing experiments are unchanged. ---
+  /// Percentage of probes that honor llc_probes; the rest go through
+  /// the private hierarchy (a mixed probe pattern some defenses see
+  /// very differently from a pure-bypass one). Drawn per probe from a
+  /// deterministic stream seeded by `mix_seed`.
+  std::uint32_t bypass_pct = 100;
+  std::uint64_t mix_seed = 0x9B57;
+  /// Calendar-deep schedule perturbation: every `far_period`-th probe
+  /// carries an extra pre_delay of `far_delay` ticks (0 = never). Large
+  /// values land the attacker's events in the event queue's far
+  /// calendar tier — schedule shapes the hand-written attacks never
+  /// exercised.
+  Tick far_delay = 0;
+  std::uint32_t far_period = 0;
 };
 
 class PrimeProbeAttacker final : public Workload {
@@ -58,6 +77,14 @@ class PrimeProbeAttacker final : public Workload {
   const std::vector<std::vector<std::uint32_t>>& miss_counts() const {
     return misses_;
   }
+  /// latency_sums()[t][k] — summed probe latency (completed - issued)
+  /// over target t's eviction set during traversal k: the raw material
+  /// of the fuzzer's quantized probe-latency observation symbols
+  /// (src/fuzz/scenario.h), finer-grained than the thresholded
+  /// miss_counts().
+  const std::vector<std::vector<std::uint64_t>>& latency_sums() const {
+    return latency_;
+  }
   std::uint32_t completed_traversals() const { return completed_; }
 
  private:
@@ -71,9 +98,12 @@ class PrimeProbeAttacker final : public Workload {
   std::uint32_t traversal_ = 0;  ///< current traversal index
   std::size_t pos_ = 0;          ///< flat position within the traversal
   std::uint32_t completed_ = 0;
+  std::uint64_t probes_issued_ = 0;  ///< far-period schedule counter
+  Rng mix_rng_;                      ///< bypass-mix stream (bypass_pct)
 
   std::vector<std::vector<bool>> observed_;
   std::vector<std::vector<std::uint32_t>> misses_;
+  std::vector<std::vector<std::uint64_t>> latency_;
 };
 
 }  // namespace pipo

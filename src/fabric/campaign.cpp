@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "fuzz/genotype.h"
+#include "fuzz/scenario.h"
 #include "workload/mixes.h"
 
 namespace pipo {
@@ -45,9 +47,19 @@ void CampaignSpec::validate() const {
   if (defenses.empty()) {
     throw std::invalid_argument("campaign has no defenses");
   }
-  if (!run_mixes && scenarios.empty()) {
+  if (!run_mixes && scenarios.empty() && fuzz.empty()) {
     throw std::invalid_argument(
-        "campaign runs neither mixes nor trace scenarios");
+        "campaign runs neither mixes nor trace scenarios nor fuzz cells");
+  }
+  for (const FuzzCell& cell : fuzz) {
+    if (cell.name.empty() || cell.genotype.empty()) {
+      throw std::invalid_argument(
+          "fuzz cell needs a name and a genotype string");
+    }
+  }
+  if (!fuzz.empty() && fuzz_perm_rounds == 0) {
+    throw std::invalid_argument(
+        "fuzz cells need fuzz_perm_rounds >= 1 (the significance gate)");
   }
   if (run_mixes && seeds == 0) {
     throw std::invalid_argument("campaign needs at least one seed");
@@ -154,7 +166,14 @@ std::vector<ConfigKey> enumerate_campaign(const CampaignSpec& spec) {
   // no seed axis.
   for (std::size_t t = 0; t < spec.scenarios.size(); ++t) {
     for (DefenseKind kind : spec.defenses) {
-      keys.push_back(ConfigKey{0, kind, 42, static_cast<int>(t)});
+      keys.push_back(ConfigKey{0, kind, 42, static_cast<int>(t), -1});
+    }
+  }
+  // Fuzz cells likewise: every genotype's entire RNG story derives from
+  // its own fields, so one run per (genotype, defense).
+  for (std::size_t g = 0; g < spec.fuzz.size(); ++g) {
+    for (DefenseKind kind : spec.defenses) {
+      keys.push_back(ConfigKey{0, kind, 42, -1, static_cast<int>(g)});
     }
   }
   return keys;
@@ -170,6 +189,10 @@ ConfigResult run_campaign_config(const CampaignSpec& spec,
       static_cast<std::size_t>(key.trace) < spec.scenarios.size()) {
     out.trace_name = spec.scenarios[static_cast<std::size_t>(key.trace)].name;
   }
+  if (key.fuzz >= 0 &&
+      static_cast<std::size_t>(key.fuzz) < spec.fuzz.size()) {
+    out.fuzz_name = spec.fuzz[static_cast<std::size_t>(key.fuzz)].name;
+  }
   const auto t0 = std::chrono::steady_clock::now();
   // An escaping exception would take down the whole campaign (or, in
   // the fabric, the worker process); capture it as the structured
@@ -181,6 +204,37 @@ ConfigResult run_campaign_config(const CampaignSpec& spec,
                                   std::to_string(key.trace) +
                                   " but the campaign has " +
                                   std::to_string(spec.scenarios.size()));
+    }
+    if (key.fuzz >= 0) {
+      if (static_cast<std::size_t>(key.fuzz) >= spec.fuzz.size()) {
+        throw std::invalid_argument("config references fuzz cell " +
+                                    std::to_string(key.fuzz) +
+                                    " but the campaign has " +
+                                    std::to_string(spec.fuzz.size()));
+      }
+      // Fuzz cells run on the fuzzer's mini-scale machine, not the
+      // Table II machine — thousands of candidate scenarios must fit in
+      // a smoke budget. The campaign's hierarchy axes still apply.
+      const FuzzCell& cell = spec.fuzz[static_cast<std::size_t>(key.fuzz)];
+      const ScenarioGenotype g = ScenarioGenotype::parse(cell.genotype);
+      const FuzzCellAxes axes{key.defense, spec.inclusion, spec.slice_hash,
+                              spec.monitor_level};
+      const ScenarioOutcome sc =
+          run_fuzz_scenario(g, fuzz_system_config(axes),
+                            spec.fuzz_perm_rounds);
+      out.genotype = cell.genotype;
+      out.mi_bits = sc.mi_bits;
+      out.p_value = sc.p_value;
+      out.decoder_acc = sc.decoder_acc;
+      out.fuzz_rounds = sc.rounds;
+      out.signature = sc.signature.to_string();
+      out.r.stats = sc.stats;
+      out.r.captures = sc.captures;
+      out.r.prefetches = sc.prefetches;
+      const auto t1f = std::chrono::steady_clock::now();
+      out.wall_ms =
+          std::chrono::duration<double, std::milli>(t1f - t0).count();
+      return out;
     }
     SystemConfig cfg = SystemConfig::with_defense(key.defense);
     cfg.shard_threads = spec.shard_threads;
@@ -235,7 +289,9 @@ std::string config_result_json(const ConfigResult& t, bool include_wall) {
   // the simulated fields are the same, so a replay record diffs cleanly
   // against its live mix record (scripts/compare_replay_stats.py).
   std::string id;
-  if (t.key.trace >= 0) {
+  if (t.key.fuzz >= 0) {
+    id = "\"fuzz\": \"" + json_escape(t.fuzz_name) + "\"";
+  } else if (t.key.trace >= 0) {
     id = "\"trace\": \"" + json_escape(t.trace_name) + "\"";
   } else {
     id = "\"mix\": " + std::to_string(t.key.mix);
@@ -260,6 +316,30 @@ std::string config_result_json(const ConfigResult& t, bool include_wall) {
     char wbuf[48];
     std::snprintf(wbuf, sizeof wbuf, ", \"wall_ms\": %.1f", t.wall_ms);
     wall = wbuf;
+  }
+  if (t.key.fuzz >= 0) {
+    // Fuzz cells report the leakage verdict, not the perf fields: the
+    // record is what the fuzzer's selection loop (and a human grepping
+    // a campaign dump) needs to rank the genotype. The genotype and
+    // signature strings are bounded (canonical forms), so the fixed
+    // buffer cannot truncate.
+    char fbuf[768];
+    std::snprintf(
+        fbuf, sizeof fbuf,
+        ", \"defense\": \"%s\", \"genotype\": \"%s\", "
+        "\"mi_bits\": %.6f, \"p_value\": %.6f, \"decoder_acc\": %.6f, "
+        "\"rounds\": %u, \"signature\": \"%s\", "
+        "\"captures\": %llu, \"prefetches\": %llu, "
+        "\"l3_misses\": %llu, \"back_invalidations\": %llu%s}",
+        to_string(t.key.defense), json_escape(t.genotype).c_str(),
+        t.mi_bits, t.p_value, t.decoder_acc, t.fuzz_rounds,
+        t.signature.c_str(),
+        static_cast<unsigned long long>(t.r.captures),
+        static_cast<unsigned long long>(t.r.prefetches),
+        static_cast<unsigned long long>(s.l3_misses),
+        static_cast<unsigned long long>(s.back_invalidations),
+        wall.c_str());
+    return "{\"config\": " + std::to_string(t.config_id) + ", " + id + fbuf;
   }
   std::snprintf(
       buf, sizeof buf,

@@ -7,7 +7,8 @@
 //  * enumerate_campaign gives every configuration a dense **config id**
 //    (its index in the fixed enumeration order: the mix grid first —
 //    mixes outer, defenses middle, seeds inner — then scenarios x
-//    defenses). Config ids key the fabric's lease table and fix the
+//    defenses, then fuzz cells x defenses). Config ids key the fabric's
+//    lease table and fix the
 //    merged output order, so a distributed campaign's JSON is
 //    byte-identical to a serial run no matter which worker ran what.
 //  * run_campaign_config executes one configuration and never throws:
@@ -41,6 +42,20 @@ struct TraceScenario {
   bool operator==(const TraceScenario&) const = default;
 };
 
+/// A fuzz-genotype cell: one attack scenario (src/fuzz/genotype.h,
+/// carried in its canonical "PPG1:..." text form so this header and the
+/// wire codec stay independent of the fuzzer) to run against each of
+/// the campaign's defenses on the campaign's hierarchy-variant axes.
+/// This is how the scenario fuzzer fans candidate populations out
+/// through the same lease table, merge order and failure handling as
+/// every other campaign.
+struct FuzzCell {
+  std::string name;      ///< label for the JSON record ("g17" etc.)
+  std::string genotype;  ///< ScenarioGenotype canonical text form
+
+  bool operator==(const FuzzCell&) const = default;
+};
+
 struct CampaignSpec {
   bool run_mixes = true;  ///< false: trace scenarios only
   unsigned mix_lo = 1, mix_hi = 10;
@@ -55,6 +70,11 @@ struct CampaignSpec {
   SliceHashKind slice_hash = SliceHashKind::kLowBits;
   MonitorLevel monitor_level = MonitorLevel::kLlc;
   std::vector<TraceScenario> scenarios;
+  /// Fuzz-genotype cells: each runs against every defense on the
+  /// campaign's hierarchy axes, scored by the multi-symbol leakage
+  /// estimator with `fuzz_perm_rounds` significance shuffles.
+  std::vector<FuzzCell> fuzz;
+  std::uint32_t fuzz_perm_rounds = 200;
   /// Mix-capture directory (standalone sweeps only — the fabric rejects
   /// capture campaigns: workers would each record to their own disk).
   std::string record_dir;
@@ -88,10 +108,11 @@ std::vector<TraceScenario> expand_trace_paths(
 
 /// One cell of the campaign grid.
 struct ConfigKey {
-  unsigned mix = 0;  ///< 0 for trace scenarios
+  unsigned mix = 0;  ///< 0 for trace scenarios and fuzz cells
   DefenseKind defense = DefenseKind::kNone;
   std::uint64_t seed = 42;
   int trace = -1;  ///< index into CampaignSpec::scenarios, or -1
+  int fuzz = -1;   ///< index into CampaignSpec::fuzz, or -1
 
   bool operator==(const ConfigKey&) const = default;
 };
@@ -107,6 +128,15 @@ struct ConfigResult {
   MixPerfResult r{};
   double wall_ms = 0;  ///< host timing, not simulated
   std::string error;   ///< non-empty: the config failed instead of running
+  // --- fuzz-cell results (valid when key.fuzz >= 0; the shared
+  // counters — stats, captures, prefetches — reuse `r`) ---
+  std::string fuzz_name;  ///< cell label when key.fuzz >= 0
+  std::string genotype;   ///< canonical genotype the cell ran
+  double mi_bits = 0.0;
+  double p_value = 1.0;
+  double decoder_acc = 0.0;
+  std::uint32_t fuzz_rounds = 0;   ///< observation rounds scored
+  std::string signature;           ///< coverage signature hex
 };
 
 /// Runs one configuration. Exceptions are captured into

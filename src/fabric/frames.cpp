@@ -241,6 +241,15 @@ void encode_campaign_spec(WireWriter& w, const CampaignSpec& spec) {
     w.str(s.name);
     w.str(s.path);
   }
+  // v3: fuzz-genotype cells. The genotype travels in its canonical text
+  // form — the same bytes the JSON records and the corpus carry, so a
+  // wire round trip can never reinterpret a scenario.
+  w.varint(spec.fuzz.size());
+  for (const FuzzCell& c : spec.fuzz) {
+    w.str(c.name);
+    w.str(c.genotype);
+  }
+  w.varint(spec.fuzz_perm_rounds);
   // record_dir deliberately does not travel: capture campaigns are
   // standalone-only (each worker would record to its own disk), and the
   // coordinator rejects them before any worker connects.
@@ -291,6 +300,16 @@ CampaignSpec decode_campaign_spec(WireReader& r) {
     s.path = r.str("spec.scenario.path");
     spec.scenarios.push_back(std::move(s));
   }
+  const std::uint64_t n_fuzz = r.varint("spec.fuzz");
+  if (n_fuzz > (1u << 16)) r.bad("spec.fuzz", "implausible count");
+  for (std::uint64_t i = 0; i < n_fuzz; ++i) {
+    FuzzCell c;
+    c.name = r.str("spec.fuzz.name");
+    c.genotype = r.str("spec.fuzz.genotype");
+    spec.fuzz.push_back(std::move(c));
+  }
+  spec.fuzz_perm_rounds =
+      static_cast<std::uint32_t>(r.varint("spec.fuzz_perm_rounds"));
   return spec;
 }
 

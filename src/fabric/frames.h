@@ -47,10 +47,13 @@ namespace pipo {
 
 inline constexpr char kFabricMagic[4] = {'P', 'F', 'A', 'B'};
 /// v2: CampaignSpec carries the hierarchy-variant axes (inclusion,
-/// slice_hash, monitor_level). Version mismatch is a handshake reject,
-/// so v1 workers can never silently run a v2 campaign with the variant
-/// fields dropped.
-inline constexpr std::uint8_t kFabricVersion = 2;
+/// slice_hash, monitor_level). v3: the spec additionally carries
+/// fuzz-genotype cells and their permutation-round budget. Version
+/// mismatch is a handshake reject, so an old worker can never silently
+/// run a newer campaign with fields dropped (a v2 worker receiving a
+/// fuzz campaign would otherwise run zero fuzz configs and still
+/// "complete").
+inline constexpr std::uint8_t kFabricVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 10;
 /// Payload ceiling. A real frame is tiny (the largest is a Welcome
 /// carrying a campaign spec, or a Result's JSON record — both well under

@@ -1,0 +1,54 @@
+#include "fuzz/coverage.h"
+
+#include <cstdio>
+
+namespace pipo {
+
+std::uint8_t coverage_bucket(std::uint64_t v) {
+  if (v == 0) return 0;
+  std::uint8_t b = 1;
+  while (v >>= 1) ++b;
+  return b;  // 1 + floor(log2(v))
+}
+
+std::string CoverageSignature::to_string() const {
+  std::string out;
+  out.reserve(2 * kCoverageSlots);
+  char buf[4];
+  for (std::uint8_t b : bucket) {
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    out += buf;
+  }
+  return out;
+}
+
+CoverageSignature coverage_signature(
+    const System::Stats& s, std::uint64_t captures, std::uint64_t prefetches,
+    const std::vector<std::uint64_t>& obs_hist) {
+  CoverageSignature sig;
+  std::size_t i = 0;
+  sig.bucket[i++] = coverage_bucket(s.accesses);
+  sig.bucket[i++] = coverage_bucket(s.l1_hits);
+  sig.bucket[i++] = coverage_bucket(s.l2_hits);
+  sig.bucket[i++] = coverage_bucket(s.l3_hits);
+  sig.bucket[i++] = coverage_bucket(s.l3_misses);
+  sig.bucket[i++] = coverage_bucket(s.back_invalidations);
+  sig.bucket[i++] = coverage_bucket(s.upgrades);
+  sig.bucket[i++] = coverage_bucket(s.invalidations_for_write);
+  sig.bucket[i++] = coverage_bucket(s.l2_evictions);
+  sig.bucket[i++] = coverage_bucket(s.writebacks);
+  sig.bucket[i++] = coverage_bucket(s.prefetch_fills);
+  sig.bucket[i++] = coverage_bucket(s.prefetch_drops);
+  sig.bucket[i++] = coverage_bucket(s.pp_tag_fills);
+  sig.bucket[i++] = coverage_bucket(s.pevicts);
+  sig.bucket[i++] = coverage_bucket(s.ric_exemptions);
+  sig.bucket[i++] = coverage_bucket(captures);
+  sig.bucket[i++] = coverage_bucket(prefetches);
+  for (std::size_t b = 0; b < 8; ++b) {
+    sig.bucket[i++] =
+        coverage_bucket(b < obs_hist.size() ? obs_hist[b] : 0);
+  }
+  return sig;
+}
+
+}  // namespace pipo

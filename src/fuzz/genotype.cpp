@@ -1,0 +1,304 @@
+#include "fuzz/genotype.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pipo {
+
+namespace {
+
+constexpr char kPrefix[] = "PPG1:";
+
+template <typename T>
+T clamp_to(T v, T lo, T hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+/// One field of the canonical form: "name=decimal" (key_seed is hex).
+/// Hand-rolled so parse errors carry the field name and the canonical
+/// order is enforced, not just the field set.
+std::uint64_t take_field(const std::string& s, std::size_t& pos,
+                         const char* name, bool last, bool hex) {
+  const std::string want = std::string(name) + "=";
+  if (s.compare(pos, want.size(), want) != 0) {
+    throw std::invalid_argument("genotype: expected field '" +
+                                std::string(name) + "' at offset " +
+                                std::to_string(pos));
+  }
+  pos += want.size();
+  const std::size_t end = last ? s.size() : s.find(',', pos);
+  if (end == std::string::npos) {
+    throw std::invalid_argument("genotype: field '" + std::string(name) +
+                                "' is not comma-terminated");
+  }
+  const std::string tok = s.substr(pos, end - pos);
+  if (tok.empty()) {
+    throw std::invalid_argument("genotype: field '" + std::string(name) +
+                                "' is empty");
+  }
+  std::uint64_t v = 0;
+  std::size_t used = 0;
+  try {
+    v = std::stoull(tok, &used, hex ? 16 : 10);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("genotype: field '" + std::string(name) +
+                                "' is not a number: " + tok);
+  }
+  if (used != tok.size()) {
+    throw std::invalid_argument("genotype: junk after field '" +
+                                std::string(name) + "': " + tok);
+  }
+  pos = last ? end : end + 1;
+  return v;
+}
+
+}  // namespace
+
+std::string ScenarioGenotype::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%sinterval=%" PRIu64 ",ev_lines=%u,ev_stride=%u,"
+                "bypass_pct=%u,far_delay=%" PRIu64 ",far_period=%u,"
+                "key_bits=%u,phase_pct=%u,key_seed=%" PRIx64 ",obs_bins=%u",
+                kPrefix, static_cast<std::uint64_t>(interval), ev_lines,
+                ev_stride, bypass_pct, static_cast<std::uint64_t>(far_delay),
+                far_period, key_bits, phase_pct, key_seed, obs_bins);
+  return buf;
+}
+
+ScenarioGenotype ScenarioGenotype::parse(const std::string& s) {
+  if (s.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) {
+    throw std::invalid_argument(
+        "genotype: missing PPG1: prefix in \"" + s + "\"");
+  }
+  std::size_t pos = sizeof(kPrefix) - 1;
+  ScenarioGenotype g;
+  g.interval = take_field(s, pos, "interval", false, false);
+  g.ev_lines =
+      static_cast<std::uint32_t>(take_field(s, pos, "ev_lines", false, false));
+  g.ev_stride = static_cast<std::uint32_t>(
+      take_field(s, pos, "ev_stride", false, false));
+  g.bypass_pct = static_cast<std::uint32_t>(
+      take_field(s, pos, "bypass_pct", false, false));
+  g.far_delay = take_field(s, pos, "far_delay", false, false);
+  g.far_period = static_cast<std::uint32_t>(
+      take_field(s, pos, "far_period", false, false));
+  g.key_bits =
+      static_cast<std::uint32_t>(take_field(s, pos, "key_bits", false, false));
+  g.phase_pct = static_cast<std::uint32_t>(
+      take_field(s, pos, "phase_pct", false, false));
+  g.key_seed = take_field(s, pos, "key_seed", false, true);
+  g.obs_bins =
+      static_cast<std::uint32_t>(take_field(s, pos, "obs_bins", true, false));
+  if (pos != s.size()) {
+    throw std::invalid_argument("genotype: trailing junk at offset " +
+                                std::to_string(pos));
+  }
+  // A parsed genotype must already be in bounds — a corpus entry edited
+  // out of the search space is an error, not something to silently fix.
+  ScenarioGenotype clamped = g;
+  clamped.clamp();
+  if (!(clamped == g)) {
+    throw std::invalid_argument("genotype: field out of bounds in \"" + s +
+                                "\" (canonical: " + clamped.to_string() + ")");
+  }
+  return g;
+}
+
+void ScenarioGenotype::clamp() {
+  const GenotypeBounds& b = kGenotypeBounds;
+  interval = clamp_to(interval, b.interval_lo, b.interval_hi);
+  ev_lines = clamp_to(ev_lines, b.ev_lines_lo, b.ev_lines_hi);
+  ev_stride = clamp_to(ev_stride, b.ev_stride_lo, b.ev_stride_hi);
+  bypass_pct = clamp_to(bypass_pct, b.bypass_pct_lo, b.bypass_pct_hi);
+  far_delay = clamp_to(far_delay, b.far_delay_lo, b.far_delay_hi);
+  far_period = clamp_to(far_period, b.far_period_lo, b.far_period_hi);
+  key_bits = clamp_to(key_bits, b.key_bits_lo, b.key_bits_hi);
+  phase_pct = clamp_to(phase_pct, b.phase_pct_lo, b.phase_pct_hi);
+  obs_bins = clamp_to(obs_bins, b.obs_bins_lo, b.obs_bins_hi);
+  // far_delay and far_period enable each other; a lone zero disables
+  // both so the canonical form has one spelling of "off".
+  if (far_delay == 0 || far_period == 0) {
+    far_delay = 0;
+    far_period = 0;
+  }
+}
+
+ScenarioGenotype paper_like_genotype() {
+  ScenarioGenotype g;  // the defaults are the Fig 6 schedule, downscaled
+  g.clamp();
+  return g;
+}
+
+ScenarioGenotype random_genotype(Rng& rng) {
+  const GenotypeBounds& b = kGenotypeBounds;
+  ScenarioGenotype g;
+  g.interval = rng.range(b.interval_lo, b.interval_hi);
+  g.ev_lines = static_cast<std::uint32_t>(
+      rng.range(b.ev_lines_lo, b.ev_lines_hi));
+  g.ev_stride = static_cast<std::uint32_t>(
+      rng.range(b.ev_stride_lo, b.ev_stride_hi));
+  g.bypass_pct = static_cast<std::uint32_t>(
+      rng.range(b.bypass_pct_lo, b.bypass_pct_hi));
+  g.far_delay = rng.chance(0.3) ? rng.range(64, b.far_delay_hi) : 0;
+  g.far_period = g.far_delay
+                     ? static_cast<std::uint32_t>(rng.range(1, b.far_period_hi))
+                     : 0;
+  g.key_bits = static_cast<std::uint32_t>(
+      rng.range(b.key_bits_lo, b.key_bits_hi));
+  g.phase_pct = static_cast<std::uint32_t>(
+      rng.range(b.phase_pct_lo, b.phase_pct_hi));
+  g.key_seed = rng.next();
+  g.obs_bins = static_cast<std::uint32_t>(
+      rng.range(b.obs_bins_lo, b.obs_bins_hi));
+  g.clamp();
+  return g;
+}
+
+namespace {
+
+/// Bounded multiplicative/additive step on one 64-bit field.
+std::uint64_t step(std::uint64_t v, std::uint64_t lo, std::uint64_t hi,
+                   Rng& rng) {
+  const std::uint64_t span = hi - lo;
+  if (span == 0) return lo;
+  switch (rng.below(3)) {
+    case 0: {  // small additive nudge, +-[1, span/8+1]
+      const std::uint64_t mag = rng.range(1, span / 8 + 1);
+      if (rng.chance(0.5)) return v + mag > hi ? hi : v + mag;
+      return v < lo + mag ? lo : v - mag;
+    }
+    case 1:  // multiplicative kick (x2 / halve toward the bounds)
+      if (rng.chance(0.5)) return std::min(hi, std::max(v, lo + 1) * 2);
+      return std::max(lo, v / 2);
+    default:  // uniform resample — escape hatch from local optima
+      return rng.range(lo, hi);
+  }
+}
+
+}  // namespace
+
+std::string mutate_genotype(ScenarioGenotype& g, Rng& rng) {
+  const GenotypeBounds& b = kGenotypeBounds;
+  const std::uint32_t n_fields = 1 + static_cast<std::uint32_t>(rng.below(3));
+  std::string log;
+  for (std::uint32_t i = 0; i < n_fields; ++i) {
+    if (!log.empty()) log += ", ";
+    char line[96];
+    switch (rng.below(10)) {
+      case 0: {
+        const Tick old = g.interval;
+        g.interval = step(old, b.interval_lo, b.interval_hi, rng);
+        std::snprintf(line, sizeof line, "interval %" PRIu64 "->%" PRIu64,
+                      static_cast<std::uint64_t>(old),
+                      static_cast<std::uint64_t>(g.interval));
+        break;
+      }
+      case 1: {
+        const std::uint32_t old = g.ev_lines;
+        g.ev_lines = static_cast<std::uint32_t>(
+            step(old, b.ev_lines_lo, b.ev_lines_hi, rng));
+        std::snprintf(line, sizeof line, "ev_lines %u->%u", old, g.ev_lines);
+        break;
+      }
+      case 2: {
+        const std::uint32_t old = g.ev_stride;
+        g.ev_stride = static_cast<std::uint32_t>(
+            step(old, b.ev_stride_lo, b.ev_stride_hi, rng));
+        std::snprintf(line, sizeof line, "ev_stride %u->%u", old,
+                      g.ev_stride);
+        break;
+      }
+      case 3: {
+        const std::uint32_t old = g.bypass_pct;
+        g.bypass_pct = static_cast<std::uint32_t>(
+            step(old, b.bypass_pct_lo, b.bypass_pct_hi, rng));
+        std::snprintf(line, sizeof line, "bypass_pct %u->%u", old,
+                      g.bypass_pct);
+        break;
+      }
+      case 4: {
+        const Tick old = g.far_delay;
+        g.far_delay = step(old, b.far_delay_lo, b.far_delay_hi, rng);
+        if (g.far_delay != 0 && g.far_period == 0) {
+          g.far_period = static_cast<std::uint32_t>(
+              rng.range(1, b.far_period_hi));
+        }
+        std::snprintf(line, sizeof line, "far_delay %" PRIu64 "->%" PRIu64,
+                      static_cast<std::uint64_t>(old),
+                      static_cast<std::uint64_t>(g.far_delay));
+        break;
+      }
+      case 5: {
+        const std::uint32_t old = g.far_period;
+        g.far_period = static_cast<std::uint32_t>(
+            step(old, b.far_period_lo, b.far_period_hi, rng));
+        if (g.far_period != 0 && g.far_delay == 0) {
+          g.far_delay = rng.range(64, b.far_delay_hi);
+        }
+        std::snprintf(line, sizeof line, "far_period %u->%u", old,
+                      g.far_period);
+        break;
+      }
+      case 6: {
+        const std::uint32_t old = g.key_bits;
+        g.key_bits = static_cast<std::uint32_t>(
+            step(old, b.key_bits_lo, b.key_bits_hi, rng));
+        std::snprintf(line, sizeof line, "key_bits %u->%u", old, g.key_bits);
+        break;
+      }
+      case 7: {
+        const std::uint32_t old = g.phase_pct;
+        g.phase_pct = static_cast<std::uint32_t>(
+            step(old, b.phase_pct_lo, b.phase_pct_hi, rng));
+        std::snprintf(line, sizeof line, "phase_pct %u->%u", old,
+                      g.phase_pct);
+        break;
+      }
+      case 8: {
+        g.key_seed = rng.next();
+        std::snprintf(line, sizeof line, "key_seed resampled");
+        break;
+      }
+      default: {
+        const std::uint32_t old = g.obs_bins;
+        g.obs_bins = static_cast<std::uint32_t>(
+            step(old, b.obs_bins_lo, b.obs_bins_hi, rng));
+        std::snprintf(line, sizeof line, "obs_bins %u->%u", old, g.obs_bins);
+        break;
+      }
+    }
+    log += line;
+  }
+  g.clamp();
+  return log;
+}
+
+ScenarioGenotype crossover_genotype(const ScenarioGenotype& a,
+                                    const ScenarioGenotype& b, Rng& rng) {
+  ScenarioGenotype c;
+  c.interval = rng.chance(0.5) ? a.interval : b.interval;
+  c.ev_lines = rng.chance(0.5) ? a.ev_lines : b.ev_lines;
+  c.ev_stride = rng.chance(0.5) ? a.ev_stride : b.ev_stride;
+  c.bypass_pct = rng.chance(0.5) ? a.bypass_pct : b.bypass_pct;
+  // The far-timing pair travels together: mixing one parent's delay
+  // with the other's period would manufacture schedules neither parent
+  // expressed.
+  if (rng.chance(0.5)) {
+    c.far_delay = a.far_delay;
+    c.far_period = a.far_period;
+  } else {
+    c.far_delay = b.far_delay;
+    c.far_period = b.far_period;
+  }
+  c.key_bits = rng.chance(0.5) ? a.key_bits : b.key_bits;
+  c.phase_pct = rng.chance(0.5) ? a.phase_pct : b.phase_pct;
+  c.key_seed = rng.chance(0.5) ? a.key_seed : b.key_seed;
+  c.obs_bins = rng.chance(0.5) ? a.obs_bins : b.obs_bins;
+  c.clamp();
+  return c;
+}
+
+}  // namespace pipo

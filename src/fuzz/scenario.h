@@ -1,0 +1,88 @@
+// Executes one ScenarioGenotype on one defended machine and scores the
+// resulting side channel.
+//
+// This is the fuzzer's fitness function and the corpus replay's ground
+// truth: a genotype plus a (defense x hierarchy-variant) cell fully
+// determines the run, byte for byte. The machine is the downscaled
+// mini-scale system the attack test suites use (32 KB 8-way 4-slice
+// LLC), so thousands of candidate scenarios fit in a CI smoke budget.
+//
+// The observation channel generalizes the boolean "did the multiply set
+// miss" of attack_experiment.h: each observation round yields the
+// attacker's *summed probe latency* over the multiply-target eviction
+// set, quantized into `obs_bins` equal-width symbols between the
+// trace's own min and max (a constant trace collapses to one symbol —
+// zero information by construction). Leakage is then the multi-symbol
+// plug-in I(K; O) of analysis/leakage.h with its permutation-test
+// significance gate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/leakage.h"
+#include "analysis/perf_experiment.h"
+#include "fuzz/coverage.h"
+#include "fuzz/genotype.h"
+#include "sim/system.h"
+#include "sim/system_config.h"
+
+namespace pipo {
+
+/// One cell of the fuzzer's (defense x hierarchy-variant) grid.
+struct FuzzCellAxes {
+  DefenseKind defense = DefenseKind::kNone;
+  InclusionPolicy inclusion = InclusionPolicy::kInclusive;
+  SliceHashKind slice_hash = SliceHashKind::kLowBits;
+  MonitorLevel monitor_level = MonitorLevel::kLlc;
+
+  bool operator==(const FuzzCellAxes&) const = default;
+};
+
+/// The CLI spelling of a defense ("none|pipo|dir|sharp|bitp|ric") —
+/// the inverse of parse_defense (fabric/campaign.h), used in cell names
+/// and corpus directory names where to_string()'s display casing
+/// ("PiPoMonitor") would be hostile to filesystems and greps.
+const char* defense_short_name(DefenseKind k);
+
+/// Canonical cell name, e.g. "pipo_inc_low_llc" — the corpus directory
+/// prefix and the failure message's cell identity.
+std::string fuzz_cell_name(const FuzzCellAxes& axes);
+
+/// Parses fuzz_cell_name's output back into axes; throws
+/// std::invalid_argument naming the bad component.
+FuzzCellAxes parse_fuzz_cell_name(const std::string& name);
+
+/// The mini-scale machine (testcfg::mini dimensions) with the cell's
+/// defense and hierarchy axes applied.
+SystemConfig fuzz_system_config(const FuzzCellAxes& axes);
+
+/// Everything one scenario run produces: the leakage score, the
+/// significance gate's verdict, the behavioral coverage signature, and
+/// the raw counters the signature was bucketed from.
+struct ScenarioOutcome {
+  double mi_bits = 0.0;      ///< plug-in I(K; O), bits per iteration
+  double p_value = 1.0;      ///< permutation-test significance
+  double decoder_acc = 0.0;  ///< empirical MAP decoder accuracy
+  std::uint32_t rounds = 0;  ///< observation rounds scored (= key_bits)
+  std::vector<std::uint64_t> obs_hist;  ///< obs_bins symbol counts
+  System::Stats stats;
+  std::uint64_t captures = 0;    ///< active defense's captures
+  std::uint64_t prefetches = 0;  ///< active defense's prefetches
+  CoverageSignature signature;
+};
+
+/// Runs `g` on a machine built from `sys` (normally
+/// fuzz_system_config(axes)) and scores the channel with `perm_rounds`
+/// permutation-test shuffles. Fully deterministic: the victim key, the
+/// bypass-mix stream and the permutation seed all derive from
+/// g.key_seed. With `capture` the consumed request streams are
+/// additionally recorded to capture->dir/core<i>.trace (the corpus
+/// entry's replayable payload); recording is invisible to the run.
+ScenarioOutcome run_fuzz_scenario(const ScenarioGenotype& g,
+                                  const SystemConfig& sys,
+                                  std::uint32_t perm_rounds,
+                                  const TraceCapture* capture = nullptr);
+
+}  // namespace pipo

@@ -127,6 +127,96 @@ TEST(Campaign, RecordsRenderIdenticallyAcrossCalls) {
   EXPECT_EQ(config_result_json(a, false), config_result_json(b, false));
 }
 
+// ------------------------------------------------------ fuzz-cell kind
+
+CampaignSpec fuzz_spec() {
+  CampaignSpec spec;
+  spec.run_mixes = false;
+  spec.defenses = {DefenseKind::kNone, DefenseKind::kPiPoMonitor};
+  spec.fuzz = {{"g0_0", "PPG1:interval=5000,ev_lines=8,ev_stride=1,"
+                        "bypass_pct=100,far_delay=0,far_period=0,"
+                        "key_bits=32,phase_pct=50,key_seed=0xf00d,"
+                        "obs_bins=4"}};
+  spec.fuzz_perm_rounds = 49;
+  return spec;
+}
+
+TEST(Campaign, FuzzCellsEnumerateAfterScenariosFuzzOuterDefenseInner) {
+  CampaignSpec spec = small_spec();
+  spec.seeds = 1;
+  spec.scenarios = {{"a", "/nope/a"}};
+  spec.fuzz = {{"g0_0", "x"}, {"g0_1", "y"}};
+  const auto keys = enumerate_campaign(spec);
+  // 2 mixes x 2 defenses x 1 seed, 1 scenario x 2 defenses, then
+  // 2 fuzz cells x 2 defenses.
+  ASSERT_EQ(keys.size(), 10u);
+  EXPECT_EQ(keys[6], (ConfigKey{0, DefenseKind::kNone, 42, -1, 0}));
+  EXPECT_EQ(keys[7], (ConfigKey{0, DefenseKind::kPiPoMonitor, 42, -1, 0}));
+  EXPECT_EQ(keys[8], (ConfigKey{0, DefenseKind::kNone, 42, -1, 1}));
+  EXPECT_EQ(keys[9], (ConfigKey{0, DefenseKind::kPiPoMonitor, 42, -1, 1}));
+}
+
+TEST(Campaign, FuzzOnlyCampaignValidates) {
+  EXPECT_NO_THROW(fuzz_spec().validate());
+  CampaignSpec spec = fuzz_spec();
+  spec.fuzz[0].name.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = fuzz_spec();
+  spec.fuzz[0].genotype.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = fuzz_spec();
+  spec.fuzz_perm_rounds = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(Campaign, FuzzSuccessRecordCarriesTheLeakageFields) {
+  const CampaignSpec spec = fuzz_spec();
+  const auto keys = enumerate_campaign(spec);
+  ASSERT_EQ(keys.size(), 2u);
+  const ConfigResult r = run_campaign_config(spec, 0, keys[0]);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.fuzz_name, "g0_0");
+  EXPECT_GT(r.fuzz_rounds, 0u);
+  EXPECT_LE(r.fuzz_rounds, 32u);  // at most key_bits observation rounds
+
+  const std::string json = config_result_json(r, /*include_wall=*/false);
+  EXPECT_EQ(json.find("{\"config\": 0, \"fuzz\": \"g0_0\", "
+                      "\"defense\": \"baseline\", \"genotype\": \"PPG1:"),
+            0u)
+      << json;
+  EXPECT_NE(json.find("\"mi_bits\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p_value\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"decoder_acc\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"signature\": \""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"wall_ms\""), std::string::npos) << json;
+
+  // Deterministic: the same fuzz config renders the same bytes.
+  const ConfigResult again = run_campaign_config(spec, 0, keys[0]);
+  EXPECT_EQ(config_result_json(again, false), json);
+}
+
+TEST(Campaign, FuzzBadGenotypeIsAnErrorRecordNotACrash) {
+  CampaignSpec spec = fuzz_spec();
+  spec.fuzz[0].genotype = "PPG1:corrupt";
+  const ConfigResult r =
+      run_campaign_config(spec, 5, ConfigKey{0, DefenseKind::kNone, 42,
+                                             -1, 0});
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(r.fuzz_name, "g0_0");
+  const std::string json = config_result_json(r, false);
+  EXPECT_NE(json.find("\"config\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fuzz\": \"g0_0\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"error\": \""), std::string::npos) << json;
+}
+
+TEST(Campaign, FuzzOutOfRangeCellIsAnErrorRecord) {
+  const CampaignSpec spec = fuzz_spec();
+  const ConfigResult r =
+      run_campaign_config(spec, 0, ConfigKey{0, DefenseKind::kNone, 42,
+                                             -1, 7});
+  EXPECT_FALSE(r.error.empty());
+}
+
 TEST(Campaign, JsonEscapeHandlesQuotesBackslashesAndControlBytes) {
   EXPECT_EQ(json_escape("plain"), "plain");
   EXPECT_EQ(json_escape("a\"b"), "a\\\"b");

@@ -35,6 +35,12 @@ CampaignSpec sample_spec() {
   spec.monitor_level = MonitorLevel::kL2;
   spec.scenarios = {{"scen_a", "/tmp/rec/scen_a"},
                     {"scen \"b\"", "/tmp/rec/scen b"}};
+  spec.fuzz = {{"g0_0", "PPG1:interval=5000,ev_lines=8,ev_stride=1,"
+                        "bypass_pct=100,far_delay=0,far_period=0,"
+                        "key_bits=60,phase_pct=50,key_seed=0xf00d,"
+                        "obs_bins=4"},
+               {"g0_1", "genotype text travels as opaque bytes"}};
+  spec.fuzz_perm_rounds = 73;
   return spec;
 }
 
@@ -281,6 +287,27 @@ TEST(FabricFrames, CampaignSpecWireRoundTripIsExact) {
   WireReader r(w.bytes());
   EXPECT_EQ(decode_campaign_spec(r), sample_spec());
   EXPECT_TRUE(r.done());
+}
+
+// A fuzz-only campaign (no mixes, no trace scenarios — the fuzzer's
+// per-generation shape) must survive the wire unchanged, fuzz cells and
+// fuzz_perm_rounds included. kFabricVersion bumped to 3 for exactly
+// this: a v2 worker would silently run zero of the fuzz configs.
+TEST(FabricFrames, FuzzOnlyCampaignSpecRoundTrips) {
+  CampaignSpec spec;
+  spec.run_mixes = false;
+  spec.defenses = {DefenseKind::kNone, DefenseKind::kPiPoMonitor};
+  spec.fuzz = {{"gen3_cand11", "PPG1:whatever=the,driver=rendered"}};
+  spec.fuzz_perm_rounds = 199;
+  WireWriter w;
+  encode_campaign_spec(w, spec);
+  WireReader r(w.bytes());
+  const CampaignSpec back = decode_campaign_spec(r);
+  EXPECT_EQ(back, spec);
+  EXPECT_TRUE(r.done());
+  ASSERT_EQ(back.fuzz.size(), 1u);
+  EXPECT_EQ(back.fuzz[0].name, "gen3_cand11");
+  EXPECT_EQ(back.fuzz_perm_rounds, 199u);
 }
 
 TEST(FabricFramesMalformed, CampaignSpecBadDefenseKind) {

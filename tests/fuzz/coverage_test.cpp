@@ -1,0 +1,63 @@
+// Coverage-signature tests (fuzz/coverage.h): the log2 bucketing that
+// defines behavioral novelty for the fuzzer's search loop, and the hex
+// form that keys the novelty set and travels in campaign records.
+#include "fuzz/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace pipo {
+namespace {
+
+TEST(Coverage, BucketIsLogTwoWithAZeroFloor) {
+  EXPECT_EQ(coverage_bucket(0), 0);
+  EXPECT_EQ(coverage_bucket(1), 1);
+  EXPECT_EQ(coverage_bucket(2), 2);
+  EXPECT_EQ(coverage_bucket(3), 2);
+  EXPECT_EQ(coverage_bucket(4), 3);
+  EXPECT_EQ(coverage_bucket(7), 3);
+  EXPECT_EQ(coverage_bucket(8), 4);
+  EXPECT_EQ(coverage_bucket(1024), 11);
+  EXPECT_EQ(coverage_bucket(~0ull), 64);
+}
+
+TEST(Coverage, BucketOnlyMovesOnRoughlyTwoXChanges) {
+  // The whole point of the coarseness: 1000 vs 1023 is "the same
+  // behavior", 1000 vs 2048 is not.
+  EXPECT_EQ(coverage_bucket(1000), coverage_bucket(1023));
+  EXPECT_NE(coverage_bucket(1000), coverage_bucket(2048));
+}
+
+TEST(Coverage, SignatureSeparatesDifferingBehaviors) {
+  System::Stats a{};
+  a.l3_misses = 100;
+  System::Stats b = a;
+  b.back_invalidations = 500;  // a back-invalidation storm
+  const CoverageSignature sa = coverage_signature(a, 0, 0, {});
+  const CoverageSignature sb = coverage_signature(b, 0, 0, {});
+  EXPECT_NE(sa, sb);
+  EXPECT_TRUE(sa < sb || sb < sa);
+  EXPECT_EQ(sa, coverage_signature(a, 0, 0, {}));
+}
+
+TEST(Coverage, CapturesPrefetchesAndHistogramAllCount) {
+  const System::Stats s{};
+  const CoverageSignature base = coverage_signature(s, 0, 0, {});
+  EXPECT_NE(coverage_signature(s, 9, 0, {}), base);
+  EXPECT_NE(coverage_signature(s, 0, 9, {}), base);
+  EXPECT_NE(coverage_signature(s, 0, 0, {0, 40}), base);
+  // A missing histogram bin and an explicit zero are the same behavior.
+  EXPECT_EQ(coverage_signature(s, 0, 0, {0, 0, 0}), base);
+}
+
+TEST(Coverage, HexFormIsTwoDigitsPerSlot) {
+  System::Stats s{};
+  s.accesses = 3;  // bucket 2 in slot 0
+  const std::string hex = coverage_signature(s, 0, 0, {}).to_string();
+  EXPECT_EQ(hex.size(), 2 * kCoverageSlots);
+  EXPECT_EQ(hex.substr(0, 2), "02");
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos)
+      << hex;
+}
+
+}  // namespace
+}  // namespace pipo

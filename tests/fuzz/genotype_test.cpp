@@ -1,0 +1,195 @@
+// ScenarioGenotype contract tests (fuzz/genotype.h): the canonical text
+// form is the genotype's identity on the fabric wire and in the corpus,
+// so parse(to_string(g)) must round-trip exactly and every deviation
+// must be a checked error naming the field; and mutation/crossover must
+// be closed under kGenotypeBounds and deterministic in the caller's Rng
+// (the fuzzer's byte-identity guarantee starts here).
+#include "fuzz/genotype.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+
+namespace pipo {
+namespace {
+
+void expect_in_bounds(const ScenarioGenotype& g, const std::string& ctx) {
+  const GenotypeBounds& b = kGenotypeBounds;
+  EXPECT_GE(g.interval, b.interval_lo) << ctx;
+  EXPECT_LE(g.interval, b.interval_hi) << ctx;
+  EXPECT_GE(g.ev_lines, b.ev_lines_lo) << ctx;
+  EXPECT_LE(g.ev_lines, b.ev_lines_hi) << ctx;
+  EXPECT_GE(g.ev_stride, b.ev_stride_lo) << ctx;
+  EXPECT_LE(g.ev_stride, b.ev_stride_hi) << ctx;
+  EXPECT_LE(g.bypass_pct, b.bypass_pct_hi) << ctx;
+  EXPECT_LE(g.far_delay, b.far_delay_hi) << ctx;
+  EXPECT_LE(g.far_period, b.far_period_hi) << ctx;
+  EXPECT_GE(g.key_bits, b.key_bits_lo) << ctx;
+  EXPECT_LE(g.key_bits, b.key_bits_hi) << ctx;
+  EXPECT_GE(g.phase_pct, b.phase_pct_lo) << ctx;
+  EXPECT_LE(g.phase_pct, b.phase_pct_hi) << ctx;
+  EXPECT_GE(g.obs_bins, b.obs_bins_lo) << ctx;
+  EXPECT_LE(g.obs_bins, b.obs_bins_hi) << ctx;
+}
+
+TEST(Genotype, DefaultAndPaperSeedRoundTrip) {
+  const ScenarioGenotype d;
+  EXPECT_EQ(ScenarioGenotype::parse(d.to_string()), d);
+  const ScenarioGenotype p = paper_like_genotype();
+  EXPECT_EQ(ScenarioGenotype::parse(p.to_string()), p);
+  EXPECT_EQ(p.to_string().rfind("PPG1:", 0), 0u) << p.to_string();
+}
+
+TEST(Genotype, RandomGenotypesRoundTripAndStayInBounds) {
+  Rng rng(0x60D0);
+  for (int i = 0; i < 500; ++i) {
+    const ScenarioGenotype g = random_genotype(rng);
+    expect_in_bounds(g, "random #" + std::to_string(i));
+    const ScenarioGenotype back = ScenarioGenotype::parse(g.to_string());
+    EXPECT_EQ(back, g) << g.to_string();
+    // The text form is canonical: re-rendering the parse is identical.
+    EXPECT_EQ(back.to_string(), g.to_string());
+  }
+}
+
+TEST(Genotype, KeySeedRendersAsLowercaseHex) {
+  ScenarioGenotype g;
+  g.key_seed = 0xDEADBEEFCAFEull;
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("key_seed=deadbeefcafe"), std::string::npos) << s;
+  EXPECT_EQ(ScenarioGenotype::parse(s).key_seed, 0xDEADBEEFCAFEull);
+}
+
+TEST(Genotype, ParseRejectsDeviationsNamingTheProblem) {
+  const std::string good = ScenarioGenotype{}.to_string();
+
+  auto expect_reject = [](const std::string& text, const std::string& hint) {
+    try {
+      ScenarioGenotype::parse(text);
+      FAIL() << "accepted: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(hint), std::string::npos)
+          << "error for \"" << text << "\" was: " << e.what();
+    }
+  };
+
+  expect_reject("XXG1:" + good.substr(5), "PPG1");
+  expect_reject("", "PPG1");
+  // Missing field: drop the first key=value pair.
+  const auto comma = good.find(',');
+  expect_reject("PPG1:" + good.substr(comma + 1), "interval");
+  // Reordered fields are a deviation, not a convenience.
+  {
+    const std::string body = good.substr(5);
+    const auto c = body.find(',');
+    const std::string swapped =
+        "PPG1:" + body.substr(c + 1, body.find(',', c + 1) - c - 1) + "," +
+        body.substr(0, c) + body.substr(body.find(',', c + 1));
+    expect_reject(swapped, "interval");
+  }
+  expect_reject(good + ",junk=1", "junk");
+  expect_reject(good + ",", "");
+  // Out-of-bounds values name the offending field.
+  {
+    ScenarioGenotype g;
+    std::string s = g.to_string();
+    const std::string needle = "ev_lines=8";
+    s.replace(s.find(needle), needle.size(), "ev_lines=99");
+    expect_reject(s, "ev_lines");
+  }
+  {
+    ScenarioGenotype g;
+    std::string s = g.to_string();
+    const std::string needle = "interval=5000";
+    s.replace(s.find(needle), needle.size(), "interval=1");
+    expect_reject(s, "interval");
+  }
+  expect_reject(good.substr(0, good.find("obs_bins=") + 9) + "frog",
+                "obs_bins");
+}
+
+TEST(Genotype, ClampIsIdempotentAndRepairsEveryField) {
+  ScenarioGenotype g;
+  g.interval = 1;            // below lo
+  g.ev_lines = 1000;         // above hi
+  g.ev_stride = 0;           // below lo
+  g.bypass_pct = 250;        // above hi
+  g.far_delay = 1 << 30;     // above hi
+  g.far_period = 100000;     // above hi
+  g.key_bits = 1;            // below lo
+  g.phase_pct = 0;           // below lo
+  g.obs_bins = 1;            // below lo
+  g.clamp();
+  expect_in_bounds(g, "after clamp");
+  const ScenarioGenotype once = g;
+  g.clamp();
+  EXPECT_EQ(g, once) << "clamp must be idempotent";
+}
+
+TEST(Genotype, ClampCouplesTheFarFuturePair) {
+  // far_delay and far_period only mean something together: if either is
+  // zero the feature is off, so clamp zeroes both.
+  ScenarioGenotype g;
+  g.far_delay = 500;
+  g.far_period = 0;
+  g.clamp();
+  EXPECT_EQ(g.far_delay, 0u);
+  EXPECT_EQ(g.far_period, 0u);
+  g.far_delay = 0;
+  g.far_period = 8;
+  g.clamp();
+  EXPECT_EQ(g.far_period, 0u);
+  g.far_delay = 500;
+  g.far_period = 8;
+  g.clamp();
+  EXPECT_EQ(g.far_delay, 500u);
+  EXPECT_EQ(g.far_period, 8u);
+}
+
+TEST(Genotype, MutationIsClosedUnderBounds) {
+  Rng rng(0x4D);
+  ScenarioGenotype g = paper_like_genotype();
+  for (int i = 0; i < 2000; ++i) {
+    const std::string log = mutate_genotype(g, rng);
+    EXPECT_FALSE(log.empty());
+    expect_in_bounds(g, "mutation #" + std::to_string(i) + " (" + log + ")");
+  }
+}
+
+TEST(Genotype, MutationAndCrossoverAreDeterministicInTheRng) {
+  auto evolve = [](std::uint64_t seed) {
+    Rng rng(seed);
+    ScenarioGenotype a = paper_like_genotype();
+    ScenarioGenotype b = random_genotype(rng);
+    std::string transcript;
+    for (int i = 0; i < 50; ++i) {
+      transcript += mutate_genotype(a, rng) + "\n";
+      b = crossover_genotype(a, b, rng);
+      transcript += a.to_string() + "\n" + b.to_string() + "\n";
+    }
+    return transcript;
+  };
+  EXPECT_EQ(evolve(7), evolve(7));
+  EXPECT_NE(evolve(7), evolve(8))
+      << "different seeds should explore differently";
+}
+
+TEST(Genotype, CrossoverOnlyEverPicksParentFields) {
+  Rng rng(0xC0C0);
+  ScenarioGenotype a = paper_like_genotype();
+  ScenarioGenotype b = random_genotype(rng);
+  for (int i = 0; i < 200; ++i) {
+    const ScenarioGenotype c = crossover_genotype(a, b, rng);
+    expect_in_bounds(c, "crossover child");
+    EXPECT_TRUE(c.interval == a.interval || c.interval == b.interval);
+    EXPECT_TRUE(c.ev_lines == a.ev_lines || c.ev_lines == b.ev_lines);
+    EXPECT_TRUE(c.key_seed == a.key_seed || c.key_seed == b.key_seed);
+    EXPECT_TRUE(c.obs_bins == a.obs_bins || c.obs_bins == b.obs_bins);
+  }
+}
+
+}  // namespace
+}  // namespace pipo

@@ -1,0 +1,101 @@
+// Scenario-cell tests (fuzz/scenario.h): the cell-name round-trip that
+// keys the corpus and the fuzzer's per-cell bookkeeping, and the
+// run_fuzz_scenario determinism + bounds contract.
+#include "fuzz/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pipo {
+namespace {
+
+TEST(FuzzScenario, CellNameRoundTripsEveryAxisCombination) {
+  for (DefenseKind d :
+       {DefenseKind::kNone, DefenseKind::kPiPoMonitor,
+        DefenseKind::kDirectoryMonitor, DefenseKind::kSharp,
+        DefenseKind::kBitp, DefenseKind::kRic}) {
+    for (InclusionPolicy inc :
+         {InclusionPolicy::kInclusive, InclusionPolicy::kExclusive}) {
+      for (SliceHashKind sh :
+           {SliceHashKind::kLowBits, SliceHashKind::kIntelCas}) {
+        for (MonitorLevel ml :
+             {MonitorLevel::kL1, MonitorLevel::kL2, MonitorLevel::kLlc}) {
+          const FuzzCellAxes axes{d, inc, sh, ml};
+          const std::string name = fuzz_cell_name(axes);
+          const FuzzCellAxes back = parse_fuzz_cell_name(name);
+          EXPECT_EQ(back.defense, axes.defense) << name;
+          EXPECT_EQ(back.inclusion, axes.inclusion) << name;
+          EXPECT_EQ(back.slice_hash, axes.slice_hash) << name;
+          EXPECT_EQ(back.monitor_level, axes.monitor_level) << name;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(fuzz_cell_name(FuzzCellAxes{}), "none_inc_low_llc");
+}
+
+TEST(FuzzScenario, CellNameParseRejectsNamingTheComponent) {
+  EXPECT_THROW(parse_fuzz_cell_name(""), std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_cell_name("none_inc_low"), std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_cell_name("none_inc_low_llc_extra"),
+               std::invalid_argument);
+  try {
+    parse_fuzz_cell_name("frog_inc_low_llc");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("frog"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse_fuzz_cell_name("none_frog_low_llc"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_cell_name("none_inc_frog_llc"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_cell_name("none_inc_low_frog"),
+               std::invalid_argument);
+}
+
+TEST(FuzzScenario, RunIsDeterministic) {
+  ScenarioGenotype g = paper_like_genotype();
+  g.key_bits = 32;  // keep the unit tier fast
+  const FuzzCellAxes axes{};
+  const ScenarioOutcome a =
+      run_fuzz_scenario(g, fuzz_system_config(axes), 49);
+  const ScenarioOutcome b =
+      run_fuzz_scenario(g, fuzz_system_config(axes), 49);
+  EXPECT_EQ(a.mi_bits, b.mi_bits);
+  EXPECT_EQ(a.p_value, b.p_value);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.obs_hist, b.obs_hist);
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_GT(a.rounds, 0u);
+}
+
+TEST(FuzzScenario, OutOfBoundsGenotypeIsACheckedError) {
+  ScenarioGenotype g = paper_like_genotype();
+  g.ev_lines = 1000;
+  EXPECT_THROW(
+      run_fuzz_scenario(g, fuzz_system_config(FuzzCellAxes{}), 10),
+      std::invalid_argument);
+}
+
+TEST(FuzzScenario, PaperGenotypeLeaksUndefendedAndNotThroughTheMonitor) {
+  // The PR's acceptance pair at unit scale: the paper-like scenario
+  // carries significant signal on the undefended cell, and the same
+  // genotype's leakage drops under the paper's defense.
+  ScenarioGenotype g = paper_like_genotype();
+  FuzzCellAxes none{};
+  FuzzCellAxes pipo{};
+  pipo.defense = DefenseKind::kPiPoMonitor;
+  const ScenarioOutcome open =
+      run_fuzz_scenario(g, fuzz_system_config(none), 199);
+  const ScenarioOutcome defended =
+      run_fuzz_scenario(g, fuzz_system_config(pipo), 199);
+  EXPECT_GT(open.mi_bits, 0.5);
+  EXPECT_LE(open.p_value, 0.01);
+  EXPECT_LT(defended.mi_bits, open.mi_bits * 0.5)
+      << "the paper's defense must suppress the paper's attack";
+}
+
+}  // namespace
+}  // namespace pipo
