@@ -1,12 +1,18 @@
 // Trace-codec microbenchmark: decode (and encode) throughput of the
-// text v1 and binary v2 trace formats (workload/trace_codec.h), on a
-// synthetic request stream with mix-like locality (mostly short line
-// deltas, occasional far jumps, all six type x bypass combinations).
+// text v1, binary v2 and framed v3 trace formats
+// (workload/trace_codec.h, workload/trace_frame.h), on a synthetic
+// request stream with mix-like locality (mostly short line deltas,
+// occasional far jumps, all six type x bypass combinations).
 //
 // The baseline is text v1 — the seed's only trace path — and the
-// engine number is binary v2, the streaming capture format; the ratio
-// is what a multi-gigabyte replay gains from the varint-delta records.
-// Also reports the encoded bytes per request for both formats.
+// engine numbers are binary v2 (the streaming capture format) and
+// framed v3 (the seekable production container; its decode rate shows
+// what the per-frame checksums and restart points cost). Also reports
+// the encoded bytes per request for every format, and a
+// prefetch-overlap shape: replaying a framed stream through
+// StreamingTraceWorkload with a fixed per-request consumer cost,
+// synchronous vs. background-prefetch decode — the speedup is the
+// decode time the prefetch thread hides.
 //
 // Human-readable by default; one JSON object with --json for
 // BENCH_engine.json (see docs/benchmarks.md).
@@ -14,10 +20,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "workload/stream_trace.h"
 #include "workload/trace_codec.h"
 
 namespace {
@@ -103,6 +111,49 @@ CodecNumbers measure(TraceFormat fmt, const std::vector<MemRequest>& stream,
   return out;
 }
 
+struct OverlapNumbers {
+  double sync_rps = 0;      ///< replay with synchronous refill
+  double prefetch_rps = 0;  ///< replay with the background decode thread
+};
+
+/// Replays a framed stream through StreamingTraceWorkload with a fixed
+/// per-request consumer cost (a few splitmix rounds — a stand-in for
+/// the simulator's per-request work), synchronous vs. prefetch decode.
+OverlapNumbers measure_overlap(const std::vector<MemRequest>& stream,
+                               int reps, std::uint64_t& sink) {
+  std::string encoded;
+  {
+    std::ostringstream os;
+    save_trace_as(os, stream, TraceFormat::kFramedV3);
+    encoded = os.str();
+  }
+  OverlapNumbers out;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool prefetch : {false, true}) {
+      auto is = std::make_unique<std::istringstream>(encoded);
+      StreamingTraceWorkload w(std::move(is),
+                               StreamingTraceWorkload::kDefaultChunkRequests,
+                               prefetch);
+      std::uint64_t work = sink;
+      std::uint64_t n = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      while (auto r = w.next(0)) {
+        // ~comparable to the decode cost per request, so the overlap
+        // window is real: ideal prefetch hides min(decode, consume).
+        for (int k = 0; k < 24; ++k) sink += splitmix(work);
+        sink += r->addr;
+        ++n;
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const double rps = static_cast<double>(n) /
+                         std::chrono::duration<double>(t1 - t0).count();
+      double& slot = prefetch ? out.prefetch_rps : out.sync_rps;
+      slot = slot >= rps ? slot : rps;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,6 +167,9 @@ int main(int argc, char** argv) {
       measure(TraceFormat::kTextV1, stream, kReps, sink);
   const CodecNumbers bin =
       measure(TraceFormat::kBinaryV2, stream, kReps, sink);
+  const CodecNumbers framed =
+      measure(TraceFormat::kFramedV3, stream, kReps, sink);
+  const OverlapNumbers overlap = measure_overlap(stream, kReps, sink);
 
   if (json) {
     std::printf(
@@ -125,11 +179,17 @@ int main(int argc, char** argv) {
         "\"bytes_per_req\":%.2f},"
         "\"binary_v2\":{\"decode_rps\":%.0f,\"encode_rps\":%.0f,"
         "\"bytes_per_req\":%.2f},"
-        "\"decode_speedup\":%.2f,\"size_ratio\":%.2f,\"sink\":%llu}\n",
+        "\"framed_v3\":{\"decode_rps\":%.0f,\"encode_rps\":%.0f,"
+        "\"bytes_per_req\":%.2f},"
+        "\"decode_speedup\":%.2f,\"size_ratio\":%.2f,"
+        "\"prefetch_overlap\":{\"sync_rps\":%.0f,\"prefetch_rps\":%.0f,"
+        "\"speedup\":%.2f},\"sink\":%llu}\n",
         static_cast<unsigned long long>(kRequests), kReps, text.decode_rps,
         text.encode_rps, text.bytes_per_req, bin.decode_rps, bin.encode_rps,
-        bin.bytes_per_req, bin.decode_rps / text.decode_rps,
-        text.bytes_per_req / bin.bytes_per_req,
+        bin.bytes_per_req, framed.decode_rps, framed.encode_rps,
+        framed.bytes_per_req, bin.decode_rps / text.decode_rps,
+        text.bytes_per_req / bin.bytes_per_req, overlap.sync_rps,
+        overlap.prefetch_rps, overlap.prefetch_rps / overlap.sync_rps,
         static_cast<unsigned long long>(sink));
     return 0;
   }
@@ -142,8 +202,14 @@ int main(int argc, char** argv) {
               text.encode_rps, text.bytes_per_req);
   std::printf("%-12s %14.2e %14.2e %12.2f\n", "binary v2", bin.decode_rps,
               bin.encode_rps, bin.bytes_per_req);
+  std::printf("%-12s %14.2e %14.2e %12.2f\n", "framed v3", framed.decode_rps,
+              framed.encode_rps, framed.bytes_per_req);
   std::printf("\ndecode speedup %.2fx, size ratio %.2fx\n",
               bin.decode_rps / text.decode_rps,
               text.bytes_per_req / bin.bytes_per_req);
+  std::printf("prefetch overlap: sync %.2e req/s, prefetch %.2e req/s "
+              "(%.2fx)\n",
+              overlap.sync_rps, overlap.prefetch_rps,
+              overlap.prefetch_rps / overlap.sync_rps);
   return 0;
 }

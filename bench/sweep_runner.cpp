@@ -20,8 +20,9 @@
 //                [--seeds K] [--instr M] [--ws-div D] [--out FILE]
 //                [--llc inc|exc] [--slice-hash low|cas]
 //                [--monitor-level l1|l2|llc]
-//                [--trace PATH]... [--no-mixes] [--deterministic]
-//                [--record DIR] [--record-format text|binary]
+//                [--trace PATH]... [--trace-prefetch] [--no-mixes]
+//                [--deterministic]
+//                [--record DIR] [--record-format text|binary|framed]
 //
 // --threads parallelizes *across* configurations (one Simulation per
 // worker); --shard-threads parallelizes *within* each simulation via the
@@ -117,6 +118,8 @@ Options parse_args(int argc, char** argv) {
       o.out = value();
     } else if (arg == "--trace") {
       o.trace_paths.push_back(value());
+    } else if (arg == "--trace-prefetch") {
+      o.spec.trace_prefetch = true;
     } else if (arg == "--no-mixes") {
       o.spec.run_mixes = false;
     } else if (arg == "--deterministic") {
@@ -126,7 +129,8 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--record-format") {
       const auto fmt = parse_trace_format(value());
       if (!fmt) {
-        throw std::invalid_argument("--record-format must be text|binary");
+        throw std::invalid_argument(
+            "--record-format must be text|binary|framed");
       }
       o.spec.record_format = *fmt;
     } else {

@@ -7,16 +7,17 @@
 //   pipo_sim mix <1..10> [--instr N] [--ws-div D] [--no-defense]
 //            [--defense pipo|dir|sharp|bitp|ric] [--l L] [--b B]
 //            [--secthr T] [--mnk K] [--seed S]
-//            [--record DIR] [--record-format text|binary]
-//   pipo_sim trace <file|dir> [--core C] [--no-defense] [...]
+//            [--record DIR] [--record-format text|binary|framed]
+//   pipo_sim trace <file|dir> [--core C] [--prefetch] [--from-frame K]
+//            [--no-defense] [...]
 //   pipo_sim attack [--iters N] [--interval T] [--no-defense] [...]
 //
 // `mix --record DIR` captures each core's consumed request stream to
 // DIR/core<i>.trace; `trace` replays a single file on --core (default
 // 0) or a whole captured directory of core<i>.trace files across all
-// cores, streaming either trace format in O(chunk) memory
-// (docs/traces.md). A replayed capture reproduces the live run's stats
-// byte-identically.
+// cores, streaming any trace format in O(chunk) memory
+// (docs/traces.md); --prefetch decodes on a background thread. A
+// replayed capture reproduces the live run's stats byte-identically.
 //
 // Examples:
 //   pipo_sim mix 1 --instr 2000000 --ws-div 16
@@ -39,7 +40,9 @@
 #include "attack/victim.h"
 #include "sim/simulation.h"
 #include "workload/mixes.h"
+#include "workload/trace.h"        // IdleWorkload
 #include "workload/trace_codec.h"  // TraceFormat
+#include "workload/trace_frame.h"  // FramedTraceFile (--from-frame)
 
 namespace {
 
@@ -53,8 +56,12 @@ using namespace pipo;
                "--interval T\n"
                "         --defense pipo|dir|sharp|bitp|ric --no-defense\n"
                "         --l L --b B --secthr T --mnk K --seed S\n"
-               "         --record DIR --record-format text|binary "
-               "(mix only)\n");
+               "         --record DIR --record-format text|binary|framed "
+               "(mix only)\n"
+               "         --prefetch (trace only: overlap decode with "
+               "simulation)\n"
+               "         --from-frame K (trace only: seek replay of a "
+               "framed trace)\n");
   std::exit(2);
 }
 
@@ -67,6 +74,9 @@ struct Options {
   Tick interval = 5000;
   std::string record_dir;
   TraceFormat record_format = TraceFormat::kTextV1;
+  bool prefetch = false;  ///< trace replay: decode on a background thread
+  std::uint64_t from_frame = 0;  ///< framed trace: first frame to replay
+  bool from_frame_set = false;
   SystemConfig system = SystemConfig::paper_default();
 };
 
@@ -127,10 +137,15 @@ Options parse_options(int argc, char** argv, int first) {
     } else if (a == "--record-format") {
       const auto fmt = parse_trace_format(need("--record-format"));
       if (!fmt) {
-        std::fprintf(stderr, "--record-format must be text|binary\n");
+        std::fprintf(stderr, "--record-format must be text|binary|framed\n");
         usage();
       }
       o.record_format = *fmt;
+    } else if (a == "--prefetch") {
+      o.prefetch = true;
+    } else if (a == "--from-frame") {
+      o.from_frame = std::strtoull(need("--from-frame").c_str(), nullptr, 10);
+      o.from_frame_set = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       usage();
@@ -199,11 +214,43 @@ int run_trace_cmd(int argc, char** argv) {
                  "directory assigns core<i>.trace to core i\n");
     return 2;
   }
-  // Same loading rules (and out-of-range/garbage-name validation) as
-  // run_trace_perf / sweep_runner; --core picks the single-file target.
-  const std::uint32_t driven = assign_trace_scenario(sim, path, o.core);
-  std::printf("replaying %s on %u core(s) (%s), streaming\n\n",
-              path.c_str(), driven, to_string(o.system.defense));
+  std::uint32_t driven = 1;
+  if (o.from_frame_set) {
+    // Seek replay: open the framed container's seek index and start
+    // mid-trace. Only meaningful for a single framed file.
+    if (std::filesystem::is_directory(path)) {
+      std::fprintf(stderr,
+                   "--from-frame applies to a single framed trace file\n");
+      return 2;
+    }
+    FramedTraceFile file(path);
+    if (o.from_frame > file.frames().size()) {
+      std::fprintf(stderr, "--from-frame %llu out of range (%zu frames)\n",
+                   static_cast<unsigned long long>(o.from_frame),
+                   file.frames().size());
+      return 2;
+    }
+    sim.set_workload(o.core,
+                     file.workload_from_frame(
+                         static_cast<std::size_t>(o.from_frame),
+                         StreamingTraceWorkload::kDefaultChunkRequests,
+                         o.prefetch));
+    for (CoreId c = 0; c < sim.num_cores(); ++c) {
+      if (c != o.core) sim.set_workload(c, std::make_unique<IdleWorkload>());
+    }
+    std::printf("replaying %s from frame %llu/%zu on core %u (%s), "
+                "streaming%s\n\n",
+                path.c_str(), static_cast<unsigned long long>(o.from_frame),
+                file.frames().size(), o.core, to_string(o.system.defense),
+                o.prefetch ? " + prefetch" : "");
+  } else {
+    // Same loading rules (and out-of-range/garbage-name validation) as
+    // run_trace_perf / sweep_runner; --core picks the single-file target.
+    driven = assign_trace_scenario(sim, path, o.core, o.prefetch);
+    std::printf("replaying %s on %u core(s) (%s), streaming%s\n\n",
+                path.c_str(), driven, to_string(o.system.defense),
+                o.prefetch ? " + prefetch" : "");
+  }
   const Tick end = sim.run();
   std::printf("finished at tick      %llu\n",
               static_cast<unsigned long long>(end));

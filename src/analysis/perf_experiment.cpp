@@ -83,9 +83,31 @@ MixPerfResult run_mix_perf(unsigned mix_number, const SystemConfig& config,
   return r;
 }
 
+namespace {
+
+/// Opens one scenario trace file as a streaming workload, rejecting
+/// zero-request files up front: a core<i>.trace truncated to nothing
+/// (or to a bare binary header) would otherwise replay as a silently
+/// idle core and skew every scenario stat. Direct codec users
+/// (load_trace_auto and friends) keep the permissive behavior.
+std::unique_ptr<StreamingTraceWorkload> open_scenario_trace(
+    const std::string& file, bool prefetch) {
+  auto w = std::make_unique<StreamingTraceWorkload>(
+      file, StreamingTraceWorkload::kDefaultChunkRequests, prefetch);
+  if (!w->has_requests()) {
+    throw std::runtime_error(
+        "trace file holds zero requests (empty or truncated capture?): " +
+        file);
+  }
+  return w;
+}
+
+}  // namespace
+
 std::uint32_t assign_trace_scenario(Simulation& sim,
                                     const std::string& path,
-                                    CoreId single_file_core) {
+                                    CoreId single_file_core,
+                                    bool prefetch) {
   namespace fs = std::filesystem;
   const std::uint32_t num_cores = sim.num_cores();
   std::vector<bool> driven(num_cores, false);
@@ -118,7 +140,7 @@ std::uint32_t assign_trace_scenario(Simulation& sim,
     for (CoreId c = 0; c < num_cores; ++c) {
       const std::string file = core_trace_path(path, c);
       if (!fs::exists(file)) continue;
-      sim.set_workload(c, std::make_unique<StreamingTraceWorkload>(file));
+      sim.set_workload(c, open_scenario_trace(file, prefetch));
       driven[c] = true;
       ++n_driven;
     }
@@ -133,8 +155,7 @@ std::uint32_t assign_trace_scenario(Simulation& sim,
           " out of range (simulation has " + std::to_string(num_cores) +
           " cores)");
     }
-    sim.set_workload(single_file_core,
-                     std::make_unique<StreamingTraceWorkload>(path));
+    sim.set_workload(single_file_core, open_scenario_trace(path, prefetch));
     driven[single_file_core] = true;
     n_driven = 1;
   }
@@ -145,9 +166,9 @@ std::uint32_t assign_trace_scenario(Simulation& sim,
 }
 
 MixPerfResult run_trace_perf(const std::string& path,
-                             const SystemConfig& config) {
+                             const SystemConfig& config, bool prefetch) {
   Simulation sim(config);
-  assign_trace_scenario(sim, path);
+  assign_trace_scenario(sim, path, 0, prefetch);
   return collect(sim, 0);
 }
 

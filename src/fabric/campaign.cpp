@@ -244,7 +244,8 @@ ConfigResult run_campaign_config(const CampaignSpec& spec,
     cfg.monitor_level = spec.monitor_level;
     if (key.trace >= 0) {
       out.r = run_trace_perf(
-          spec.scenarios[static_cast<std::size_t>(key.trace)].path, cfg);
+          spec.scenarios[static_cast<std::size_t>(key.trace)].path, cfg,
+          spec.trace_prefetch);
     } else if (!spec.record_dir.empty()) {
       const TraceCapture capture{
           spec.record_dir + "/mix" + std::to_string(key.mix) + "_" +

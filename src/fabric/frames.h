@@ -48,12 +48,12 @@ namespace pipo {
 inline constexpr char kFabricMagic[4] = {'P', 'F', 'A', 'B'};
 /// v2: CampaignSpec carries the hierarchy-variant axes (inclusion,
 /// slice_hash, monitor_level). v3: the spec additionally carries
-/// fuzz-genotype cells and their permutation-round budget. Version
-/// mismatch is a handshake reject, so an old worker can never silently
-/// run a newer campaign with fields dropped (a v2 worker receiving a
-/// fuzz campaign would otherwise run zero fuzz configs and still
-/// "complete").
-inline constexpr std::uint8_t kFabricVersion = 3;
+/// fuzz-genotype cells and their permutation-round budget. v4: the spec
+/// carries the trace_prefetch decode knob. Version mismatch is a
+/// handshake reject, so an old worker can never silently run a newer
+/// campaign with fields dropped (a v2 worker receiving a fuzz campaign
+/// would otherwise run zero fuzz configs and still "complete").
+inline constexpr std::uint8_t kFabricVersion = 4;
 inline constexpr std::size_t kFrameHeaderBytes = 10;
 /// Payload ceiling. A real frame is tiny (the largest is a Welcome
 /// carrying a campaign spec, or a Result's JSON record — both well under

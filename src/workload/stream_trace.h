@@ -6,13 +6,18 @@
 //
 //   * `TraceReader` — format-autodetecting pull reader over any
 //     std::istream (or file), built on the streaming codecs of
-//     trace_codec.h;
+//     trace_codec.h / trace_frame.h;
 //   * `StreamingTraceWorkload` — a Workload that refills a fixed-size
 //     request chunk from a TraceReader, so replay memory is O(chunk)
 //     regardless of trace length (the chunk buffer's capacity is pinned
-//     by tests/workload/stream_trace_test.cpp);
+//     by tests/workload/stream_trace_test.cpp). With `prefetch` set, a
+//     background thread decodes the next chunk while the simulation
+//     consumes the current one (double-buffered), hiding decode latency
+//     entirely — the replayed request stream is byte-identical to the
+//     synchronous path at every chunk size (stream_trace_test.cpp and
+//     tests/e2e/trace_replay_e2e_test.cpp pin this);
 //   * `TraceRecorder` — wraps any Workload and captures exactly the
-//     requests the simulation consumed to either trace format, so a
+//     requests the simulation consumed to any trace format, so a
 //     synthetic mix can be snapshotted once and replayed
 //     deterministically (the capture/replay loop is proven
 //     stats-identical by tests/e2e/trace_replay_e2e_test.cpp).
@@ -39,6 +44,10 @@ class TraceReader {
   explicit TraceReader(const std::string& path);
   /// Reads from `is` (e.g. a std::istringstream in tests).
   explicit TraceReader(std::unique_ptr<std::istream> is);
+  /// Wraps an already-positioned decoder (e.g. a framed seek decoder
+  /// from FramedTraceFile::decode_from_frame, trace_frame.h).
+  TraceReader(std::unique_ptr<std::istream> is,
+              std::unique_ptr<TraceDecoder> decoder, TraceFormat format);
 
   TraceFormat format() const { return format_; }
   /// Fills up to `max` requests into `out`; returns the count (0 = end
@@ -53,31 +62,58 @@ class TraceReader {
   std::unique_ptr<TraceDecoder> decoder_;
 };
 
+class TracePrefetcher;  // background decode thread (stream_trace.cpp)
+
 /// Replays a trace file/stream through the simulator in O(chunk)
-/// memory. Drop-in for TraceWorkload on traces of any length.
+/// memory. Drop-in for TraceWorkload on traces of any length. With
+/// `prefetch`, decode runs on a background thread one chunk ahead of
+/// the simulation (memory becomes O(3 x chunk): the consumer chunk,
+/// the ready slot and the decoder's working buffer); decode errors are
+/// captured on the worker and rethrown from next() on the simulation
+/// thread, so diagnostics are identical to the synchronous path.
 class StreamingTraceWorkload final : public Workload {
  public:
   static constexpr std::size_t kDefaultChunkRequests = 4096;
 
   explicit StreamingTraceWorkload(
       const std::string& path,
-      std::size_t chunk_requests = kDefaultChunkRequests);
+      std::size_t chunk_requests = kDefaultChunkRequests,
+      bool prefetch = false);
   explicit StreamingTraceWorkload(
       std::unique_ptr<std::istream> is,
-      std::size_t chunk_requests = kDefaultChunkRequests);
+      std::size_t chunk_requests = kDefaultChunkRequests,
+      bool prefetch = false);
+  /// Replays an already-positioned reader (e.g. a framed seek reader
+  /// from FramedTraceFile::reader_from_frame, trace_frame.h).
+  explicit StreamingTraceWorkload(
+      TraceReader reader, std::size_t chunk_requests = kDefaultChunkRequests,
+      bool prefetch = false);
+  ~StreamingTraceWorkload() override;  // joins the prefetch thread
 
   std::optional<MemRequest> next(Tick) override;
 
+  /// Primes the next chunk without consuming anything and reports
+  /// whether at least one request remains. Scenario loading uses this
+  /// to reject zero-request trace files up front (a truncated-to-empty
+  /// capture must not replay as a silently idle core) while direct
+  /// codec users keep the permissive empty-trace behavior.
+  bool has_requests();
+
   TraceFormat format() const { return reader_.format(); }
+  bool prefetching() const { return prefetcher_ != nullptr; }
   std::uint64_t replayed() const { return replayed_; }
   /// The chunk buffer's capacity — never grows past the configured
   /// chunk size (the O(chunk)-memory property the unit test pins).
   std::size_t chunk_capacity() const { return chunk_.capacity(); }
 
  private:
-  void init(std::size_t chunk_requests);
+  void init(std::size_t chunk_requests, bool prefetch);
+  /// Next chunk into chunk_ (synchronously or from the prefetcher);
+  /// returns the number of valid requests.
+  std::size_t refill();
 
   TraceReader reader_;
+  std::unique_ptr<TracePrefetcher> prefetcher_;
   std::vector<MemRequest> chunk_;
   std::size_t pos_ = 0;   ///< next unreturned request in chunk_
   std::size_t len_ = 0;   ///< valid requests in chunk_

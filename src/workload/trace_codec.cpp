@@ -1,25 +1,17 @@
 #include "workload/trace_codec.h"
 
 #include <cctype>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <string>
 
 #include "common/types.h"
+#include "workload/trace_frame.h"
 
 namespace pipo {
 
 namespace {
-
-// Flag-byte layout (see the header diagram).
-constexpr std::uint8_t kTypeMask = 0x03;
-constexpr std::uint8_t kFlagBypass = 0x04;
-constexpr std::uint8_t kFlagNegDelta = 0x08;
-constexpr std::uint8_t kReservedMask = 0xF0;
-constexpr std::uint8_t kReservedType = 3;
-// A 64-bit LEB128 varint is at most 10 bytes, and the 10th carries only
-// the top bit (64 = 9*7 + 1).
-constexpr unsigned kMaxVarintBytes = 10;
 
 [[noreturn]] void bad_line(std::size_t line_no, const std::string& what) {
   throw std::invalid_argument("trace line " + std::to_string(line_no) +
@@ -80,6 +72,7 @@ const char* to_string(TraceFormat f) {
   switch (f) {
     case TraceFormat::kTextV1: return "text";
     case TraceFormat::kBinaryV2: return "binary";
+    case TraceFormat::kFramedV3: return "framed";
   }
   return "?";
 }
@@ -87,13 +80,35 @@ const char* to_string(TraceFormat f) {
 std::optional<TraceFormat> parse_trace_format(const std::string& name) {
   if (name == "text") return TraceFormat::kTextV1;
   if (name == "binary") return TraceFormat::kBinaryV2;
+  if (name == "framed") return TraceFormat::kFramedV3;
   return std::nullopt;
 }
 
 TraceFormat detect_trace_format(std::istream& is) {
   const int c = is.peek();
-  return c == kTraceMagicV2[0] ? TraceFormat::kBinaryV2
-                               : TraceFormat::kTextV1;
+  if (c != static_cast<unsigned char>(kTraceMagicV2[0])) {
+    return TraceFormat::kTextV1;
+  }
+  // Both binary magics start with 'P'; read the full 8 bytes and rewind
+  // to tell "PIPOTRC2" from "PIPOTRC3". A magic truncated by the stream
+  // ending early falls through to kBinaryV2, whose decoder rejects it
+  // with the proper truncated-magic diagnostic.
+  const std::streampos pos = is.tellg();
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  const std::streamsize got = is.gcount();
+  is.clear();
+  is.seekg(pos);
+  if (!is) {
+    throw std::invalid_argument(
+        "cannot rewind stream to detect the trace format (binary trace "
+        "detection needs a seekable stream)");
+  }
+  if (got == sizeof magic &&
+      std::memcmp(magic, kTraceMagicV3, sizeof magic) == 0) {
+    return TraceFormat::kFramedV3;
+  }
+  return TraceFormat::kBinaryV2;
 }
 
 // ------------------------------------------------------------- text v1
@@ -208,30 +223,12 @@ void BinaryTraceEncoder::put_byte(std::uint8_t b) {
   }
 }
 
-void BinaryTraceEncoder::put_varint(std::uint64_t v) {
-  while (v >= 0x80) {
-    put_byte(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  put_byte(static_cast<std::uint8_t>(v));
-}
-
 void BinaryTraceEncoder::put(const MemRequest& r) {
-  const LineAddr line = line_of(r.addr);
-  std::uint8_t flags = static_cast<std::uint8_t>(r.type) & kTypeMask;
-  if (r.bypass_private) flags |= kFlagBypass;
-  std::uint64_t delta;
-  if (line >= prev_line_) {
-    delta = line - prev_line_;
-  } else {
-    delta = prev_line_ - line;
-    flags |= kFlagNegDelta;
-  }
-  put_byte(flags);
-  put_varint(delta);
-  put_byte(static_cast<std::uint8_t>(r.addr & (kLineSizeBytes - 1)));
-  put_varint(r.pre_delay);
-  prev_line_ = line;
+  // Encode via the shared record layer, then feed the bytes through
+  // put_byte so the buffer honors its chunk bound mid-record.
+  scratch_.clear();
+  trace_v2::append_record(scratch_, prev_line_, r);
+  for (std::uint8_t b : scratch_) put_byte(b);
   finished_ = false;
   ++count_;
 }
@@ -253,97 +250,22 @@ void BinaryTraceEncoder::finish() {
 
 BinaryTraceDecoder::BinaryTraceDecoder(std::istream& is,
                                        std::size_t chunk_bytes)
-    // No lower clamp beyond 1: tiny chunks are legal (slow), and the
-    // oracle tier leans on 1-byte refills to straddle every varint.
-    : is_(is), buf_(chunk_bytes == 0 ? 1 : chunk_bytes) {
+    : src_(is, chunk_bytes, "binary trace") {
   for (char want : kTraceMagicV2) {
-    const int got = get_byte();
-    if (got < 0) bad("truncated magic (want \"PIPOTRC2\")");
+    const int got = src_.get_byte();
+    if (got < 0) src_.bad("truncated magic (want \"PIPOTRC2\")");
     if (got != static_cast<unsigned char>(want)) {
-      bad("bad magic (want \"PIPOTRC2\")");
+      src_.bad("bad magic (want \"PIPOTRC2\")");
     }
   }
-}
-
-void BinaryTraceDecoder::bad(const std::string& what) const {
-  throw std::invalid_argument("binary trace, byte " +
-                              std::to_string(consumed_) + ": " + what);
-}
-
-int BinaryTraceDecoder::get_byte() {
-  if (pos_ >= len_) {
-    is_.read(reinterpret_cast<char*>(buf_.data()),
-             static_cast<std::streamsize>(buf_.size()));
-    len_ = static_cast<std::size_t>(is_.gcount());
-    pos_ = 0;
-    if (len_ == 0) {
-      // An I/O error is not a clean end of trace — treating it as one
-      // would silently replay a prefix of the capture.
-      if (is_.bad()) bad("stream read error");
-      return -1;
-    }
-  }
-  ++consumed_;
-  return buf_[pos_++];
-}
-
-std::uint8_t BinaryTraceDecoder::need_byte(const char* what) {
-  const int b = get_byte();
-  if (b < 0) bad(std::string("truncated record (") + what + ")");
-  return static_cast<std::uint8_t>(b);
-}
-
-std::uint64_t BinaryTraceDecoder::read_varint(const char* what) {
-  std::uint64_t v = 0;
-  for (unsigned i = 0; i < kMaxVarintBytes; ++i) {
-    const std::uint8_t b = need_byte(what);
-    const std::uint64_t payload = b & 0x7F;
-    if (i == kMaxVarintBytes - 1 && payload > 1) {
-      bad(std::string(what) + ": varint overflows 64 bits");
-    }
-    v |= payload << (7 * i);
-    if (!(b & 0x80)) return v;
-  }
-  bad(std::string(what) + ": varint longer than 10 bytes");
 }
 
 std::optional<MemRequest> BinaryTraceDecoder::next() {
-  const int first = get_byte();
-  if (first < 0) return std::nullopt;  // clean end of trace
-
-  const std::uint8_t flags = static_cast<std::uint8_t>(first);
-  if (flags & kReservedMask) bad("reserved flag bits set");
-  if ((flags & kTypeMask) == kReservedType) bad("reserved access type 3");
-
-  MemRequest r;
-  r.type = static_cast<AccessType>(flags & kTypeMask);
-  r.bypass_private = (flags & kFlagBypass) != 0;
-
-  // Valid line addresses occupy 58 bits (byte addr >> 6); a delta that
-  // leaves [0, kMaxLine] cannot come from the encoder and must throw,
-  // not wrap into a garbage address.
-  constexpr LineAddr kMaxLine = ~Addr{0} >> kLineShift;
-  const std::uint64_t delta = read_varint("line delta");
-  LineAddr line;
-  if (flags & kFlagNegDelta) {
-    if (delta > prev_line_) bad("line delta underflows line 0");
-    line = prev_line_ - delta;
-  } else {
-    if (delta > kMaxLine - prev_line_) {
-      bad("line delta overflows the 58-bit line space");
-    }
-    line = prev_line_ + delta;
-  }
-  const std::uint8_t offset = need_byte("line offset");
-  if (offset >= kLineSizeBytes) bad("line offset >= 64");
-  r.addr = byte_of(line) | offset;
-
-  const std::uint64_t delay = read_varint("pre_delay");
-  if (delay > 0xFFFFFFFFull) bad("pre_delay overflows 32 bits");
-  r.pre_delay = static_cast<std::uint32_t>(delay);
-
-  prev_line_ = line;
-  ++count_;
+  // Record validation — including the strict minimal-varint rule that
+  // keeps accepted streams byte-canonical — lives in trace_record.h,
+  // shared with the framed container's per-frame decode.
+  auto r = trace_v2::decode_record(src_, prev_line_);
+  if (r) ++count_;
   return r;
 }
 
@@ -354,6 +276,9 @@ std::unique_ptr<TraceEncoder> make_trace_encoder(std::ostream& os,
   if (format == TraceFormat::kBinaryV2) {
     return std::make_unique<BinaryTraceEncoder>(os);
   }
+  if (format == TraceFormat::kFramedV3) {
+    return std::make_unique<FramedTraceEncoder>(os);
+  }
   return std::make_unique<TextTraceEncoder>(os);
 }
 
@@ -361,6 +286,9 @@ std::unique_ptr<TraceDecoder> make_trace_decoder(std::istream& is,
                                                  TraceFormat format) {
   if (format == TraceFormat::kBinaryV2) {
     return std::make_unique<BinaryTraceDecoder>(is);
+  }
+  if (format == TraceFormat::kFramedV3) {
+    return std::make_unique<FramedTraceDecoder>(is);
   }
   return std::make_unique<TextTraceDecoder>(is);
 }

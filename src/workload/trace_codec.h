@@ -1,11 +1,13 @@
-// Trace codecs: the two on-disk request-stream formats and their
-// streaming encoder/decoder pairs.
+// Trace codecs: the on-disk request-stream formats and their streaming
+// encoder/decoder pairs.
 //
 // Text v1 (`trace_io.h`) is the human-readable import/export path — one
 // request per line, greppable, hand-editable. Binary v2 is the capture
 // format for production-scale traces (multi-gigabyte pin/gem5
 // conversions, recorded attack transcripts): a magic+version header
-// followed by compact records, decodable in O(chunk) memory.
+// followed by compact records, decodable in O(chunk) memory. Framed v3
+// (trace_frame.h) wraps v2 records in checksummed frames with a
+// trailing seek index for replay from arbitrary offsets.
 //
 // Binary v2 layout (all multi-byte integers are LEB128 varints,
 // little-endian base-128, at most 10 bytes):
@@ -29,10 +31,14 @@
 //   < 64. Every MemRequest field — including bypass_private crossed
 //   with all three access types — round-trips exactly.
 //
-// Malformed input (bad magic, truncated or overlong varint, reserved
-// flag bits, offset >= 64, pre_delay beyond 32 bits, EOF inside a
-// record) throws std::invalid_argument naming the absolute byte offset;
-// the text decoder names the line number (trace_io.h diagnostics).
+// Malformed input (bad magic, truncated or overlong varint, non-minimal
+// varint encodings the encoder never emits, reserved flag bits, offset
+// >= 64, pre_delay beyond 32 bits, EOF inside a record) throws
+// std::invalid_argument naming the absolute byte offset; the text
+// decoder names the line number (trace_io.h diagnostics). Accepted
+// streams are byte-canonical: encode(decode(bytes)) == bytes, so a
+// record's byte offset identifies it uniquely (what the framed
+// container's seek index relies on, trace_frame.h).
 #pragma once
 
 #include <cstdint>
@@ -44,23 +50,29 @@
 #include <vector>
 
 #include "sim/workload_if.h"
+#include "workload/trace_record.h"
 
 namespace pipo {
 
 enum class TraceFormat : std::uint8_t {
   kTextV1,    ///< line-per-request text (trace_io.h)
   kBinaryV2,  ///< varint-delta binary records (this header)
+  kFramedV3,  ///< seekable framed container over v2 records (trace_frame.h)
 };
 
 const char* to_string(TraceFormat f);
-/// Inverse of to_string ("text" / "binary"); nullopt for anything else.
-/// The one name->format mapping the CLI flags share.
+/// Inverse of to_string ("text" / "binary" / "framed"); nullopt for
+/// anything else. The one name->format mapping the CLI flags share.
 std::optional<TraceFormat> parse_trace_format(const std::string& name);
 
-/// Sniffs the format from the first byte without consuming it: binary
-/// traces start with the magic's 'P', which can never begin a text
-/// trace line (those start with a hex digit, '#' or whitespace). The
-/// chosen decoder still validates the full header.
+/// Sniffs the format without consuming anything: binary traces start
+/// with a magic's 'P', which can never begin a text trace line (those
+/// start with a hex digit, '#' or whitespace); the two binary magics
+/// ("PIPOTRC2" flat, "PIPOTRC3" framed) are told apart by reading the
+/// full 8 bytes and rewinding, so the stream must be seekable when its
+/// first byte is 'P' (files and stringstreams are; throws
+/// std::invalid_argument if the rewind fails). The chosen decoder still
+/// validates the full header.
 TraceFormat detect_trace_format(std::istream& is);
 
 /// Incremental writer for one trace stream. The header is written on
@@ -127,6 +139,10 @@ class TextTraceDecoder final : public TraceDecoder {
 
 inline constexpr char kTraceMagicV2[8] = {'P', 'I', 'P', 'O',
                                           'T', 'R', 'C', '2'};
+/// Framed container magic (the format itself lives in trace_frame.h;
+/// the magic is here so detect_trace_format need not depend on it).
+inline constexpr char kTraceMagicV3[8] = {'P', 'I', 'P', 'O',
+                                          'T', 'R', 'C', '3'};
 /// Default I/O chunk for the binary codec's internal byte buffer.
 inline constexpr std::size_t kTraceChunkBytes = 64 * 1024;
 
@@ -145,10 +161,10 @@ class BinaryTraceEncoder final : public TraceEncoder {
 
  private:
   void put_byte(std::uint8_t b);
-  void put_varint(std::uint64_t v);
 
   std::ostream& os_;
   std::vector<std::uint8_t> buf_;  ///< flushed at chunk_bytes_; never grows past it
+  std::vector<std::uint8_t> scratch_;  ///< one record (trace_record.h)
   std::size_t chunk_bytes_;
   LineAddr prev_line_ = 0;
   bool finished_ = false;
@@ -162,20 +178,10 @@ class BinaryTraceDecoder final : public TraceDecoder {
                               std::size_t chunk_bytes = kTraceChunkBytes);
   std::optional<MemRequest> next() override;
   /// Absolute byte offset of the next unread byte (header included).
-  std::uint64_t byte_offset() const { return consumed_; }
+  std::uint64_t byte_offset() const { return src_.consumed(); }
 
  private:
-  /// Next byte, refilling the chunk buffer; -1 at EOF.
-  int get_byte();
-  std::uint8_t need_byte(const char* what);
-  std::uint64_t read_varint(const char* what);
-  [[noreturn]] void bad(const std::string& what) const;
-
-  std::istream& is_;
-  std::vector<std::uint8_t> buf_;
-  std::size_t pos_ = 0;   ///< next unread byte in buf_
-  std::size_t len_ = 0;   ///< valid bytes in buf_
-  std::uint64_t consumed_ = 0;
+  trace_v2::StreamByteSource src_;
   LineAddr prev_line_ = 0;
 };
 

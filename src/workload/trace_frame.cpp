@@ -1,0 +1,513 @@
+#include "workload/trace_frame.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(PIPO_HAVE_ZSTD)
+#include <zstd.h>
+#endif
+
+namespace pipo {
+
+namespace {
+
+constexpr std::uint8_t kFrameEnd = 0x00;
+constexpr std::uint8_t kFrameRaw = 0x01;
+constexpr std::uint8_t kFrameZstd = 0x02;
+constexpr char kFramedIndexMagic[8] = {'P', 'I', 'P', 'O',
+                                       'I', 'D', 'X', '1'};
+// A frame the encoder would never write (the default is ~tens of KiB);
+// a corrupt length varint must not turn into a gigabyte allocation.
+constexpr std::uint64_t kMaxFramePayloadBytes = 256ull * 1024 * 1024;
+// Smallest possible v2 record: flags + 1-byte delta + offset + 1-byte
+// pre_delay.
+constexpr std::uint64_t kMinRecordBytes = 4;
+// Smallest well-formed container: magic(8) + end marker(1) +
+// frame_count varint(1) + index crc(4) + footer(16).
+constexpr std::uint64_t kMinContainerBytes = 30;
+constexpr std::uint64_t kFooterBytes = 16;
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void append_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+
+/// Byte-source adapter that tees everything read into a side buffer —
+/// how the decoder checksums the index bytes exactly as stored while
+/// parsing them.
+struct RecordingSource {
+  trace_v2::StreamByteSource& src;
+  std::vector<std::uint8_t>& bytes;
+
+  int get_byte() {
+    const int b = src.get_byte();
+    if (b >= 0) bytes.push_back(static_cast<std::uint8_t>(b));
+    return b;
+  }
+  std::uint8_t need_byte(const char* what) {
+    const int b = get_byte();
+    if (b < 0) src.bad(std::string("truncated record (") + what + ")");
+    return static_cast<std::uint8_t>(b);
+  }
+  std::uint64_t consumed() const { return src.consumed(); }
+  [[noreturn]] void bad(const std::string& what) const { src.bad(what); }
+};
+
+template <class Source>
+std::uint32_t read_u32le(Source& src, const char* what) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(src.need_byte(what)) << (8 * i);
+  }
+  return v;
+}
+
+template <class Source>
+std::uint64_t read_u64le(Source& src, const char* what) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(src.need_byte(what)) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool framed_zstd_available() {
+#if defined(PIPO_HAVE_ZSTD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint32_t framed_crc32(const std::uint8_t* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// -------------------------------------------------------------- encoder
+
+FramedTraceEncoder::FramedTraceEncoder(std::ostream& os,
+                                       FramedTraceOptions opts)
+    : os_(os), opts_(opts) {
+  if (opts_.frame_requests == 0) opts_.frame_requests = 1;
+  if (opts_.compress && !framed_zstd_available()) {
+    throw std::runtime_error(
+        "zstd frame compression requested but this build has no zstd "
+        "(rebuild with zstd headers available, or store frames raw)");
+  }
+  write_bytes(reinterpret_cast<const std::uint8_t*>(kTraceMagicV3),
+              sizeof kTraceMagicV3);
+}
+
+void FramedTraceEncoder::write_bytes(const std::uint8_t* data,
+                                     std::size_t len) {
+  os_.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(len));
+  written_ += len;
+}
+
+void FramedTraceEncoder::put(const MemRequest& r) {
+  if (finished_) {
+    throw std::logic_error(
+        "put() after finish() on a framed trace encoder (the seek index "
+        "is already on disk)");
+  }
+  trace_v2::append_record(payload_, prev_line_, r);
+  ++frame_count_;
+  ++count_;
+  if (frame_count_ >= opts_.frame_requests) flush_frame();
+}
+
+void FramedTraceEncoder::flush_frame() {
+  if (frame_count_ == 0) return;
+  const std::uint8_t* stored = payload_.data();
+  std::uint64_t stored_len = payload_.size();
+  const std::uint64_t raw_len = payload_.size();
+  std::uint8_t marker = kFrameRaw;
+#if defined(PIPO_HAVE_ZSTD)
+  if (opts_.compress) {
+    const std::size_t bound = ZSTD_compressBound(payload_.size());
+    zbuf_.resize(bound);
+    const std::size_t zn =
+        ZSTD_compress(zbuf_.data(), bound, payload_.data(), payload_.size(),
+                      opts_.compression_level);
+    // A frame compression fails to shrink is stored raw — the reader
+    // treats the two markers uniformly.
+    if (!ZSTD_isError(zn) && zn < payload_.size()) {
+      marker = kFrameZstd;
+      stored = zbuf_.data();
+      stored_len = zn;
+    }
+  }
+#endif
+  head_.clear();
+  head_.push_back(marker);
+  trace_v2::append_varint(head_, frame_count_);
+  trace_v2::append_varint(head_, stored_len);
+  trace_v2::append_varint(head_, raw_len);
+  append_u32le(head_, framed_crc32(stored, stored_len));
+  index_.push_back({written_, frame_count_});
+  write_bytes(head_.data(), head_.size());
+  write_bytes(stored, stored_len);
+  payload_.clear();
+  prev_line_ = 0;  // each frame is a delta-base restart point
+  frame_count_ = 0;
+}
+
+void FramedTraceEncoder::finish() {
+  if (finished_) return;
+  flush_frame();
+  const std::uint64_t end_off = written_;
+  head_.clear();
+  head_.push_back(kFrameEnd);
+  // The index checksum covers frame_count through the last entry, so
+  // build those bytes separately from the marker.
+  std::vector<std::uint8_t> idx;
+  trace_v2::append_varint(idx, index_.size());
+  std::uint64_t prev = 0;
+  for (const IndexEntry& e : index_) {
+    trace_v2::append_varint(idx, e.offset - prev);
+    trace_v2::append_varint(idx, e.requests);
+    prev = e.offset;
+  }
+  append_u32le(idx, framed_crc32(idx.data(), idx.size()));
+  append_u64le(idx, end_off);
+  for (char c : kFramedIndexMagic) {
+    idx.push_back(static_cast<std::uint8_t>(c));
+  }
+  head_.insert(head_.end(), idx.begin(), idx.end());
+  write_bytes(head_.data(), head_.size());
+  os_.flush();
+  finished_ = true;
+  // Sticky badbit from any earlier write surfaces here — a silently
+  // truncated container must not look like a successful capture.
+  if (!os_) throw std::runtime_error("trace write failed (framed encoder)");
+}
+
+// -------------------------------------------------------------- decoder
+
+FramedTraceDecoder::FramedTraceDecoder(std::istream& is,
+                                       std::size_t chunk_bytes)
+    : src_(is, chunk_bytes, "framed trace") {
+  for (char want : kTraceMagicV3) {
+    const int got = src_.get_byte();
+    if (got < 0) src_.bad("truncated magic (want \"PIPOTRC3\")");
+    if (got != static_cast<unsigned char>(want)) {
+      src_.bad("bad magic (want \"PIPOTRC3\")");
+    }
+  }
+}
+
+FramedTraceDecoder::FramedTraceDecoder(std::istream& is,
+                                       std::size_t chunk_bytes,
+                                       std::uint64_t start_offset,
+                                       std::uint64_t skipped_frames,
+                                       std::uint64_t skipped_requests)
+    : src_(is, chunk_bytes, "framed trace", start_offset),
+      skipped_frames_(skipped_frames),
+      skipped_requests_(skipped_requests) {}
+
+std::optional<MemRequest> FramedTraceDecoder::next() {
+  for (;;) {
+    if (done_) return std::nullopt;
+    if (!cur_) {
+      if (!load_next_frame()) {
+        done_ = true;
+        return std::nullopt;
+      }
+    }
+    auto r = trace_v2::decode_record(*cur_, prev_line_);
+    if (r) {
+      if (frame_left_ == 0) {
+        cur_->bad("frame holds more records than its request count");
+      }
+      --frame_left_;
+      ++count_;
+      return r;
+    }
+    // Payload exhausted: the header's request count must be spent.
+    if (frame_left_ != 0) {
+      cur_->bad("frame payload ends " + std::to_string(frame_left_) +
+                " record(s) short of its request count");
+    }
+    cur_.reset();
+  }
+}
+
+bool FramedTraceDecoder::load_next_frame() {
+  const std::uint64_t marker_off = src_.consumed();
+  const int m = src_.get_byte();
+  if (m < 0) src_.bad("truncated container (missing end marker and index)");
+  if (m == kFrameEnd) {
+    validate_index_and_footer(marker_off);
+    return false;
+  }
+  if (m != kFrameRaw && m != kFrameZstd) src_.bad("unknown frame marker");
+
+  const std::uint64_t requests =
+      trace_v2::read_varint(src_, "frame request count");
+  if (requests == 0) src_.bad("frame request count is zero");
+  const std::uint64_t payload_len =
+      trace_v2::read_varint(src_, "frame payload length");
+  const std::uint64_t raw_len =
+      trace_v2::read_varint(src_, "frame raw length");
+  if (payload_len == 0 || payload_len > kMaxFramePayloadBytes) {
+    src_.bad("implausible frame payload length");
+  }
+  if (raw_len > kMaxFramePayloadBytes) {
+    src_.bad("implausible frame raw length");
+  }
+  if (m == kFrameRaw && raw_len != payload_len) {
+    src_.bad("raw frame whose raw length differs from its payload length");
+  }
+  if (requests > raw_len / kMinRecordBytes) {
+    src_.bad("frame request count exceeds what the payload could hold");
+  }
+  const std::uint32_t want_crc = read_u32le(src_, "frame checksum");
+  const std::uint64_t payload_off = src_.consumed();
+  stored_.resize(payload_len);
+  src_.read_bytes(stored_.data(), payload_len, "frame payload");
+  if (framed_crc32(stored_.data(), stored_.size()) != want_crc) {
+    throw std::invalid_argument(
+        "framed trace, byte " + std::to_string(marker_off) +
+        ": frame checksum mismatch (payload corrupt)");
+  }
+
+  const std::uint8_t* data = stored_.data();
+  std::size_t n = stored_.size();
+  if (m == kFrameZstd) {
+#if defined(PIPO_HAVE_ZSTD)
+    raw_.resize(raw_len);
+    const std::size_t got =
+        ZSTD_decompress(raw_.data(), raw_len, stored_.data(), stored_.size());
+    if (ZSTD_isError(got) || got != raw_len) {
+      throw std::invalid_argument(
+          "framed trace, byte " + std::to_string(marker_off) +
+          ": zstd frame does not decompress to its raw length");
+    }
+    data = raw_.data();
+    n = raw_len;
+#else
+    throw std::invalid_argument(
+        "framed trace, byte " + std::to_string(marker_off) +
+        ": zstd-compressed frame but this build has no zstd "
+        "(rebuild with zstd, or reconvert the trace with frames raw)");
+#endif
+  }
+  // For raw frames the base offset makes record diagnostics absolute
+  // file bytes; for zstd frames the position is within the decompressed
+  // payload, anchored at the payload's file offset.
+  cur_.emplace(data, n, payload_off, "framed trace");
+  prev_line_ = 0;
+  frame_left_ = requests;
+  seen_.push_back({marker_off, requests});
+  return true;
+}
+
+void FramedTraceDecoder::validate_index_and_footer(
+    std::uint64_t end_marker_offset) {
+  std::vector<std::uint8_t> idx;
+  RecordingSource rec{src_, idx};
+  const std::uint64_t frame_count =
+      trace_v2::read_varint(rec, "index frame count");
+  std::vector<SeenFrame> entries;
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < frame_count; ++i) {
+    const std::uint64_t delta =
+        trace_v2::read_varint(rec, "index frame offset");
+    const std::uint64_t requests =
+        trace_v2::read_varint(rec, "index request count");
+    const std::uint64_t off = prev + delta;  // first entry is absolute
+    entries.push_back({off, requests});
+    prev = off;
+  }
+  const std::uint32_t want_crc = read_u32le(src_, "index checksum");
+  if (framed_crc32(idx.data(), idx.size()) != want_crc) {
+    src_.bad("index checksum mismatch");
+  }
+  const std::uint64_t foot_off = read_u64le(src_, "footer offset");
+  if (foot_off != end_marker_offset) {
+    src_.bad("footer end-marker offset disagrees with the stream (" +
+             std::to_string(foot_off) + " vs " +
+             std::to_string(end_marker_offset) + ")");
+  }
+  for (char want : kFramedIndexMagic) {
+    const std::uint8_t got = src_.need_byte("footer magic");
+    if (got != static_cast<unsigned char>(want)) {
+      src_.bad("bad footer magic (want \"PIPOIDX1\")");
+    }
+  }
+  if (src_.get_byte() >= 0) src_.bad("trailing bytes after the footer");
+
+  // The index must describe exactly the frames this decode saw (plus,
+  // for a seek-resumed decode, the skipped prefix).
+  if (entries.size() != skipped_frames_ + seen_.size()) {
+    src_.bad("seek index holds " + std::to_string(entries.size()) +
+             " frame(s) but the stream decoded " +
+             std::to_string(skipped_frames_ + seen_.size()));
+  }
+  std::uint64_t skipped = 0;
+  for (std::uint64_t i = 0; i < skipped_frames_; ++i) {
+    skipped += entries[i].requests;
+  }
+  if (skipped != skipped_requests_) {
+    src_.bad("seek index request counts disagree with the resume offset");
+  }
+  for (std::size_t j = 0; j < seen_.size(); ++j) {
+    const SeenFrame& e = entries[skipped_frames_ + j];
+    if (e.offset != seen_[j].offset || e.requests != seen_[j].requests) {
+      src_.bad("seek index entry " +
+               std::to_string(skipped_frames_ + j) +
+               " disagrees with the decoded frame");
+    }
+  }
+}
+
+// ------------------------------------------------------------ seek file
+
+FramedTraceFile::FramedTraceFile(std::string path) : path_(std::move(path)) {
+  std::ifstream f(path_, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path_);
+
+  const auto malformed = [this](const std::string& what) -> void {
+    throw std::invalid_argument("framed trace " + path_ + ": " + what);
+  };
+
+  char magic[8] = {};
+  f.read(magic, sizeof magic);
+  if (f.gcount() != sizeof magic ||
+      std::memcmp(magic, kTraceMagicV3, sizeof magic) != 0) {
+    malformed("bad or truncated magic (want \"PIPOTRC3\")");
+  }
+  f.clear();
+  f.seekg(0, std::ios::end);
+  const std::uint64_t size = static_cast<std::uint64_t>(f.tellg());
+  if (size < kMinContainerBytes) {
+    malformed("file too small to hold an index and footer");
+  }
+  f.seekg(static_cast<std::streamoff>(size - kFooterBytes));
+  std::uint8_t footer[kFooterBytes] = {};
+  f.read(reinterpret_cast<char*>(footer), sizeof footer);
+  if (!f) malformed("cannot read the footer");
+  if (std::memcmp(footer + 8, kFramedIndexMagic, 8) != 0) {
+    malformed("bad footer magic (want \"PIPOIDX1\" — truncated file?)");
+  }
+  std::uint64_t end_off = 0;
+  for (int i = 0; i < 8; ++i) {
+    end_off |= static_cast<std::uint64_t>(footer[i]) << (8 * i);
+  }
+  // The end marker needs room for itself plus the smallest index.
+  if (end_off < sizeof magic || end_off > size - (kMinContainerBytes - 8)) {
+    malformed("footer end-marker offset out of range");
+  }
+
+  // Read [end marker, end of file) — O(index), however large the trace.
+  const std::uint64_t region_len = size - end_off;
+  std::vector<std::uint8_t> region(region_len);
+  f.seekg(static_cast<std::streamoff>(end_off));
+  f.read(reinterpret_cast<char*>(region.data()),
+         static_cast<std::streamsize>(region_len));
+  if (!f) malformed("cannot read the seek index");
+  if (region[0] != kFrameEnd) {
+    malformed("no end marker at the footer's offset");
+  }
+
+  trace_v2::BufferByteSource src(region.data() + 1, region_len - 1,
+                                 end_off + 1, "framed trace " + path_);
+  const std::uint64_t frame_count =
+      trace_v2::read_varint(src, "index frame count");
+  std::uint64_t prev = 0;
+  std::uint64_t cum = 0;
+  for (std::uint64_t i = 0; i < frame_count; ++i) {
+    const std::uint64_t delta =
+        trace_v2::read_varint(src, "index frame offset");
+    const std::uint64_t requests =
+        trace_v2::read_varint(src, "index request count");
+    const std::uint64_t off = prev + delta;  // first entry is absolute
+    if (requests == 0) src.bad("index request count is zero");
+    if (off < sizeof magic || off >= end_off ||
+        (i > 0 && delta == 0)) {
+      src.bad("index frame offset out of range");
+    }
+    frames_.push_back({off, cum, requests});
+    cum += requests;
+    prev = off;
+  }
+  const std::uint64_t idx_len = src.consumed() - (end_off + 1);
+  const std::uint32_t want_crc = read_u32le(src, "index checksum");
+  if (framed_crc32(region.data() + 1, idx_len) != want_crc) {
+    src.bad("index checksum mismatch");
+  }
+  // What follows the checksum must be exactly the 16-byte footer.
+  if (src.consumed() != size - kFooterBytes) {
+    src.bad("unexpected bytes between the index and the footer");
+  }
+  total_requests_ = cum;
+  end_marker_offset_ = end_off;
+}
+
+std::size_t FramedTraceFile::frame_of_request(std::uint64_t n) const {
+  if (n >= total_requests_) {
+    throw std::out_of_range("request index " + std::to_string(n) +
+                            " past the end of the trace (" +
+                            std::to_string(total_requests_) + " requests)");
+  }
+  const auto it = std::upper_bound(
+      frames_.begin(), frames_.end(), n,
+      [](std::uint64_t v, const FramedFrameInfo& f) {
+        return v < f.first_request;
+      });
+  return static_cast<std::size_t>((it - frames_.begin()) - 1);
+}
+
+TraceReader FramedTraceFile::reader_from_frame(std::size_t k) const {
+  if (k > frames_.size()) {
+    throw std::out_of_range("frame index " + std::to_string(k) +
+                            " past the end of the trace (" +
+                            std::to_string(frames_.size()) + " frames)");
+  }
+  auto f = std::make_unique<std::ifstream>(path_, std::ios::binary);
+  if (!*f) throw std::runtime_error("cannot open trace file: " + path_);
+  const std::uint64_t off =
+      k == frames_.size() ? end_marker_offset_ : frames_[k].byte_offset;
+  const std::uint64_t skipped_requests =
+      k == frames_.size() ? total_requests_ : frames_[k].first_request;
+  f->seekg(static_cast<std::streamoff>(off));
+  if (!*f) {
+    throw std::runtime_error("cannot seek to frame " + std::to_string(k) +
+                             " of trace file: " + path_);
+  }
+  auto dec = std::make_unique<FramedTraceDecoder>(*f, kTraceChunkBytes, off,
+                                                  k, skipped_requests);
+  return TraceReader(std::move(f), std::move(dec), TraceFormat::kFramedV3);
+}
+
+std::unique_ptr<StreamingTraceWorkload> FramedTraceFile::workload_from_frame(
+    std::size_t k, std::size_t chunk_requests, bool prefetch) const {
+  return std::make_unique<StreamingTraceWorkload>(reader_from_frame(k),
+                                                  chunk_requests, prefetch);
+}
+
+}  // namespace pipo

@@ -1,0 +1,266 @@
+// Shared record layer for the binary trace formats.
+//
+// The binary v2 record encoding (trace_codec.h: flags byte, |line
+// delta| varint, offset byte, pre_delay varint — all varints minimal
+// LEB128) is used both by the flat "PIPOTRC2" stream and, per frame,
+// by the framed "PIPOTRC3" container (trace_frame.h). This header
+// holds the one definition of that encoding — byte sources, the strict
+// varint reader, the record decoder template and the append-side
+// helpers — so the two containers cannot drift apart.
+//
+// Byte sources implement: `int get_byte()` (-1 at end), `std::uint8_t
+// need_byte(const char*)`, `std::uint64_t consumed()` (absolute byte
+// offset of the next unread byte) and `[[noreturn]] void bad(const
+// std::string&)` (throws std::invalid_argument naming consumed()).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/workload_if.h"
+
+namespace pipo {
+namespace trace_v2 {
+
+// Flag-byte layout (see the trace_codec.h diagram).
+inline constexpr std::uint8_t kTypeMask = 0x03;
+inline constexpr std::uint8_t kFlagBypass = 0x04;
+inline constexpr std::uint8_t kFlagNegDelta = 0x08;
+inline constexpr std::uint8_t kReservedMask = 0xF0;
+inline constexpr std::uint8_t kReservedType = 3;
+// A 64-bit LEB128 varint is at most 10 bytes, and the 10th carries only
+// the top bit (64 = 9*7 + 1).
+inline constexpr unsigned kMaxVarintBytes = 10;
+
+/// Chunked pull source over an istream: O(chunk) refill buffer,
+/// absolute consumed() offsets (optionally biased by `base_offset` for
+/// decoders resumed mid-file), stream-error detection on refill.
+class StreamByteSource {
+ public:
+  StreamByteSource(std::istream& is, std::size_t chunk_bytes,
+                   std::string context, std::uint64_t base_offset = 0)
+      // No lower clamp beyond 1: tiny chunks are legal (slow), and the
+      // oracle tier leans on 1-byte refills to straddle every varint.
+      : is_(is),
+        buf_(chunk_bytes == 0 ? 1 : chunk_bytes),
+        consumed_(base_offset),
+        context_(std::move(context)) {}
+
+  /// Next byte, refilling the chunk buffer; -1 at EOF.
+  int get_byte() {
+    if (pos_ >= len_ && !refill()) return -1;
+    ++consumed_;
+    return buf_[pos_++];
+  }
+
+  std::uint8_t need_byte(const char* what) {
+    const int b = get_byte();
+    if (b < 0) bad(std::string("truncated record (") + what + ")");
+    return static_cast<std::uint8_t>(b);
+  }
+
+  /// Bulk read of exactly `n` bytes into `dst`; throws (naming `what`)
+  /// if the stream ends first. Drains the refill buffer, then reads the
+  /// remainder straight into `dst` — no per-byte loop for large spans.
+  void read_bytes(std::uint8_t* dst, std::size_t n, const char* what) {
+    while (n > 0) {
+      if (pos_ < len_) {
+        const std::size_t take = std::min(n, len_ - pos_);
+        for (std::size_t i = 0; i < take; ++i) dst[i] = buf_[pos_ + i];
+        pos_ += take;
+        consumed_ += take;
+        dst += take;
+        n -= take;
+        continue;
+      }
+      is_.read(reinterpret_cast<char*>(dst),
+               static_cast<std::streamsize>(n));
+      const std::size_t got = static_cast<std::size_t>(is_.gcount());
+      consumed_ += got;
+      dst += got;
+      n -= got;
+      if (n > 0) {
+        if (is_.bad()) bad("stream read error");
+        bad(std::string("truncated record (") + what + ")");
+      }
+    }
+  }
+
+  /// Absolute byte offset of the next unread byte.
+  std::uint64_t consumed() const { return consumed_; }
+
+  [[noreturn]] void bad(const std::string& what) const {
+    throw std::invalid_argument(context_ + ", byte " +
+                                std::to_string(consumed_) + ": " + what);
+  }
+
+ private:
+  bool refill() {
+    is_.read(reinterpret_cast<char*>(buf_.data()),
+             static_cast<std::streamsize>(buf_.size()));
+    len_ = static_cast<std::size_t>(is_.gcount());
+    pos_ = 0;
+    if (len_ == 0) {
+      // An I/O error is not a clean end of trace — treating it as one
+      // would silently replay a prefix of the capture.
+      if (is_.bad()) bad("stream read error");
+      return false;
+    }
+    return true;
+  }
+
+  std::istream& is_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;   ///< next unread byte in buf_
+  std::size_t len_ = 0;   ///< valid bytes in buf_
+  std::uint64_t consumed_;
+  std::string context_;
+};
+
+/// Pull source over an in-memory span (one framed-container payload).
+/// consumed() reports `base_offset` + position so diagnostics stay in
+/// absolute file bytes for raw frames.
+class BufferByteSource {
+ public:
+  BufferByteSource(const std::uint8_t* data, std::size_t len,
+                   std::uint64_t base_offset, std::string context)
+      : data_(data),
+        len_(len),
+        base_(base_offset),
+        context_(std::move(context)) {}
+
+  int get_byte() {
+    if (pos_ >= len_) return -1;
+    return data_[pos_++];
+  }
+
+  std::uint8_t need_byte(const char* what) {
+    const int b = get_byte();
+    if (b < 0) bad(std::string("truncated record (") + what + ")");
+    return static_cast<std::uint8_t>(b);
+  }
+
+  std::uint64_t consumed() const { return base_ + pos_; }
+  bool exhausted() const { return pos_ >= len_; }
+
+  [[noreturn]] void bad(const std::string& what) const {
+    throw std::invalid_argument(context_ + ", byte " +
+                                std::to_string(consumed()) + ": " + what);
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t pos_ = 0;
+  std::size_t len_;
+  std::uint64_t base_;
+  std::string context_;
+};
+
+/// Strict LEB128 reader: rejects >10-byte varints, 64-bit overflow and
+/// non-minimal encodings (a terminating zero payload after a
+/// continuation byte, e.g. 0x80 0x00 for 0 — a padded spelling the
+/// encoder never emits). Rejecting them keeps accepted streams
+/// byte-canonical, which the framed container's seek index relies on.
+template <class Source>
+std::uint64_t read_varint(Source& src, const char* what) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < kMaxVarintBytes; ++i) {
+    const std::uint8_t b = src.need_byte(what);
+    const std::uint64_t payload = b & 0x7F;
+    if (i == kMaxVarintBytes - 1 && payload > 1) {
+      src.bad(std::string(what) + ": varint overflows 64 bits");
+    }
+    v |= payload << (7 * i);
+    if (!(b & 0x80)) {
+      if (i > 0 && payload == 0) {
+        src.bad(std::string(what) + ": non-minimal varint encoding");
+      }
+      return v;
+    }
+  }
+  src.bad(std::string(what) + ": varint longer than 10 bytes");
+}
+
+/// Decodes one record, updating the running line-delta base; nullopt at
+/// a clean end of the source (end exactly between records). All
+/// rejection paths throw through src.bad() with absolute byte offsets.
+template <class Source>
+std::optional<MemRequest> decode_record(Source& src, LineAddr& prev_line) {
+  const int first = src.get_byte();
+  if (first < 0) return std::nullopt;  // clean end of record stream
+
+  const std::uint8_t flags = static_cast<std::uint8_t>(first);
+  if (flags & kReservedMask) src.bad("reserved flag bits set");
+  if ((flags & kTypeMask) == kReservedType) src.bad("reserved access type 3");
+
+  MemRequest r;
+  r.type = static_cast<AccessType>(flags & kTypeMask);
+  r.bypass_private = (flags & kFlagBypass) != 0;
+
+  // Valid line addresses occupy 58 bits (byte addr >> 6); a delta that
+  // leaves [0, kMaxLine] cannot come from the encoder and must throw,
+  // not wrap into a garbage address.
+  constexpr LineAddr kMaxLine = ~Addr{0} >> kLineShift;
+  const std::uint64_t delta = read_varint(src, "line delta");
+  LineAddr line;
+  if (flags & kFlagNegDelta) {
+    if (delta > prev_line) src.bad("line delta underflows line 0");
+    line = prev_line - delta;
+  } else {
+    if (delta > kMaxLine - prev_line) {
+      src.bad("line delta overflows the 58-bit line space");
+    }
+    line = prev_line + delta;
+  }
+  const std::uint8_t offset = src.need_byte("line offset");
+  if (offset >= kLineSizeBytes) src.bad("line offset >= 64");
+  r.addr = byte_of(line) | offset;
+
+  const std::uint64_t delay = read_varint(src, "pre_delay");
+  if (delay > 0xFFFFFFFFull) src.bad("pre_delay overflows 32 bits");
+  r.pre_delay = static_cast<std::uint32_t>(delay);
+
+  prev_line = line;
+  return r;
+}
+
+// -------------------------------------------------------- encode side
+
+/// Appends the minimal LEB128 encoding of `v`.
+inline void append_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Appends one encoded record, updating the running line-delta base.
+/// The inverse of decode_record on every input (and byte-canonical:
+/// this is the unique spelling the strict decoder accepts).
+inline void append_record(std::vector<std::uint8_t>& out,
+                          LineAddr& prev_line, const MemRequest& r) {
+  const LineAddr line = line_of(r.addr);
+  std::uint8_t flags = static_cast<std::uint8_t>(r.type) & kTypeMask;
+  if (r.bypass_private) flags |= kFlagBypass;
+  std::uint64_t delta;
+  if (line >= prev_line) {
+    delta = line - prev_line;
+  } else {
+    delta = prev_line - line;
+    flags |= kFlagNegDelta;
+  }
+  out.push_back(flags);
+  append_varint(out, delta);
+  out.push_back(static_cast<std::uint8_t>(r.addr & (kLineSizeBytes - 1)));
+  append_varint(out, r.pre_delay);
+  prev_line = line;
+}
+
+}  // namespace trace_v2
+}  // namespace pipo

@@ -14,9 +14,12 @@
 #include <gtest/gtest.h>
 
 #include "analysis/perf_experiment.h"
+#include "sim/simulation.h"
 #include "tests/sim/test_configs.h"
 #include "workload/stream_trace.h"
+#include "workload/trace.h"
 #include "workload/trace_codec.h"
+#include "workload/trace_frame.h"
 
 namespace pipo {
 namespace {
@@ -79,7 +82,8 @@ TEST(TraceReplayE2E, RecordedRunReplaysByteIdentically) {
        {DefenseKind::kNone, DefenseKind::kPiPoMonitor}) {
     const SystemConfig cfg = config_for(defense);
     for (TraceFormat fmt :
-         {TraceFormat::kTextV1, TraceFormat::kBinaryV2}) {
+         {TraceFormat::kTextV1, TraceFormat::kBinaryV2,
+          TraceFormat::kFramedV3}) {
       const std::string label = std::string(to_string(defense)) + "/" +
                                 to_string(fmt);
       const std::string dir = fresh_dir(label.substr(0, label.find('/')) +
@@ -90,6 +94,10 @@ TEST(TraceReplayE2E, RecordedRunReplaysByteIdentically) {
                        &capture);
       const MixPerfResult replay = run_trace_perf(dir, cfg);
       expect_identical(replay, live, label);
+      // Prefetch decode must be invisible to the simulated outcome.
+      const MixPerfResult prefetched =
+          run_trace_perf(dir, cfg, /*prefetch=*/true);
+      expect_identical(prefetched, live, label + "/prefetch");
       fs::remove_all(dir);
     }
   }
@@ -129,6 +137,65 @@ TEST(TraceReplayE2E, ConvertedCaptureReplaysIdentically) {
   expect_identical(replay, live, "converted");
   fs::remove_all(dir);
   fs::remove_all(conv);
+}
+
+// The production ingest workflow end to end: capture a live mix, pack
+// one core's trace into the seekable framed container, then replay from
+// a mid-trace frame boundary — the seek replay must be stats-identical
+// to replaying the materialized tail of the same capture.
+TEST(TraceReplayE2E, CapturedTracePacksAndSeekReplays) {
+  const SystemConfig cfg = config_for(DefenseKind::kPiPoMonitor);
+  const std::string dir = fresh_dir("seek_capture");
+  const TraceCapture capture{dir, TraceFormat::kBinaryV2};
+  run_mix_perf(kMix, cfg, kInstrBudget, kSeed, kWsDivisor, &capture);
+
+  // Pack core0's capture into a framed container with CI-sized frames.
+  const std::vector<MemRequest> t =
+      load_trace_file_auto(dir + "/core0.trace");
+  ASSERT_GE(t.size(), 200u) << "capture too small to seek into";
+  const std::string framed = dir + "/core0.framed";
+  {
+    std::ofstream f(framed, std::ios::binary);
+    FramedTraceOptions opts;
+    opts.frame_requests = 64;
+    FramedTraceEncoder enc(f, opts);
+    for (const MemRequest& r : t) enc.put(r);
+    enc.finish();
+  }
+
+  FramedTraceFile file(framed);
+  ASSERT_EQ(file.total_requests(), t.size());
+  const std::size_t k = file.frames().size() / 2;
+  ASSERT_GE(k, 1u);
+  const std::vector<MemRequest> tail(
+      t.begin() + static_cast<std::ptrdiff_t>(
+                      file.frames()[k].first_request),
+      t.end());
+
+  const auto replay = [&](std::unique_ptr<Workload> w) {
+    Simulation sim(cfg);
+    sim.set_workload(0, std::move(w));
+    for (CoreId c = 1; c < sim.num_cores(); ++c) {
+      sim.set_workload(c, std::make_unique<IdleWorkload>());
+    }
+    MixPerfResult r;
+    r.exec_time = sim.run();
+    r.instructions = sim.total_instructions();
+    r.stats = sim.system().stats();
+    return r;
+  };
+  const MixPerfResult want = replay(std::make_unique<TraceWorkload>(tail));
+  for (const bool prefetch : {false, true}) {
+    const MixPerfResult got = replay(file.workload_from_frame(
+        k, StreamingTraceWorkload::kDefaultChunkRequests, prefetch));
+    EXPECT_EQ(got.exec_time, want.exec_time) << prefetch;
+    EXPECT_EQ(got.instructions, want.instructions) << prefetch;
+#define PIPO_X(field) \
+  EXPECT_EQ(got.stats.field, want.stats.field) << #field;
+    PIPO_REPLAY_STATS_FIELDS(PIPO_X)
+#undef PIPO_X
+  }
+  fs::remove_all(dir);
 }
 
 // Teeth: replaying a *different* capture (another seed) must diverge —
@@ -232,6 +299,55 @@ TEST(TraceReplayE2E, SingleFileOnOutOfRangeCoreThrows) {
   Simulation sim2(cfg);
   EXPECT_THROW(assign_trace_scenario(sim2, file, 4), std::runtime_error);
   fs::remove_all(dir);
+}
+
+// Headline bugfix repro: a zero-request trace file — truncated to
+// nothing, whitespace-only text, or a binary file that is only the
+// magic — used to decode as a clean empty trace and silently replay as
+// an idle core, skewing scenario stats (the same silent-failure class
+// as misnamed core files). Scenario loading must reject it naming the
+// file; direct codec users keep the permissive behavior.
+TEST(TraceReplayE2E, ZeroRequestTraceFileThrowsNamingTheFile) {
+  const SystemConfig cfg = config_for(DefenseKind::kNone);
+  const auto write_file = [](const std::string& path,
+                             const std::string& bytes) {
+    std::ofstream f(path, std::ios::binary);
+    f << bytes;
+  };
+  const std::string magic(kTraceMagicV2, sizeof(kTraceMagicV2));
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  for (const Case& c :
+       {Case{"empty", ""}, Case{"whitespace", "\n  \n# comment only\n"},
+        Case{"magic_only", magic}}) {
+    const std::string dir = fresh_dir(std::string("zero_req_") + c.name);
+    fs::create_directories(dir);
+    const std::string file = dir + "/core1.trace";
+    write_file(dir + "/core0.trace", "1000 L 0\n");  // one healthy core
+    write_file(file, c.bytes);
+    try {
+      run_trace_perf(dir, cfg);
+      FAIL() << c.name << ": zero-request trace replayed silently";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(file), std::string::npos)
+          << c.name << ": diagnostic must name the file, got: " << e.what();
+    }
+    // The single-file path must reject it too.
+    EXPECT_THROW(run_trace_perf(file, cfg), std::runtime_error) << c.name;
+    fs::remove_all(dir);
+  }
+}
+
+// Direct codec users keep the permissive behavior: an empty stream is a
+// clean zero-request trace for the decoders themselves.
+TEST(TraceReplayE2E, DirectCodecUsersStillAcceptEmptyTraces) {
+  std::istringstream empty_text("");
+  EXPECT_TRUE(load_trace_auto(empty_text).empty());
+  std::stringstream magic_only;
+  save_trace_as(magic_only, {}, TraceFormat::kBinaryV2);
+  EXPECT_TRUE(load_trace_auto(magic_only).empty());
 }
 
 TEST(TraceReplayE2E, EmptyScenarioDirectoryThrows) {

@@ -41,6 +41,7 @@ CampaignSpec sample_spec() {
                         "obs_bins=4"},
                {"g0_1", "genotype text travels as opaque bytes"}};
   spec.fuzz_perm_rounds = 73;
+  spec.trace_prefetch = true;  // v4: must survive the wire round trip
   return spec;
 }
 
@@ -308,6 +309,17 @@ TEST(FabricFrames, FuzzOnlyCampaignSpecRoundTrips) {
   ASSERT_EQ(back.fuzz.size(), 1u);
   EXPECT_EQ(back.fuzz[0].name, "gen3_cand11");
   EXPECT_EQ(back.fuzz_perm_rounds, 199u);
+}
+
+// v4 appends the trace_prefetch flag as the final byte of the spec; a
+// value other than 0/1 is a malformed peer, not a silent bool cast.
+TEST(FabricFramesMalformed, CampaignSpecBadPrefetchFlag) {
+  WireWriter w;
+  encode_campaign_spec(w, sample_spec());
+  auto bytes = w.take();
+  bytes.back() = 2;
+  WireReader r(bytes);
+  EXPECT_THROW(decode_campaign_spec(r), std::invalid_argument);
 }
 
 TEST(FabricFramesMalformed, CampaignSpecBadDefenseKind) {

@@ -1,0 +1,245 @@
+// Differential oracles for the framed trace container
+// (workload/trace_frame.h), in the pattern of docs/testing.md:
+//
+//  * the flat binary v2 codec — already pinned against the text
+//    reference — is the reference implementation: randomized traces
+//    must decode identically through framed containers at adversarial
+//    frame sizes and refill-chunk sizes (down to 1 byte, so every
+//    header field, checksum and payload straddles refill boundaries);
+//  * seek replay: for random frame boundaries k, replaying a framed
+//    file from frame k must equal the tail of a full replay — the
+//    request stream AND the simulated System::Stats, so the seek path
+//    can never drift from the only-path-that-existed-before semantics;
+//  * a teeth test proves the stats comparison can fail.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulation.h"
+#include "tests/sim/test_configs.h"
+#include "workload/trace.h"
+#include "workload/trace_codec.h"
+#include "workload/trace_frame.h"
+
+namespace pipo {
+namespace {
+
+namespace fs = std::filesystem;
+
+MemRequest random_request(Rng& rng) {
+  MemRequest r;
+  switch (rng.next() % 8) {
+    case 0: r.addr = 0; break;
+    case 1: r.addr = ~Addr{0}; break;  // full 64-bit corner
+    case 2: r.addr = (1ull << 48) - 1; break;
+    default: r.addr = rng.next() & ((1ull << 48) - 1); break;
+  }
+  r.type = static_cast<AccessType>(rng.next() % 3);
+  r.bypass_private = (rng.next() & 1) != 0;
+  r.pre_delay = (rng.next() & 7) == 0 ? 0xFFFFFFFFu
+                                      : static_cast<std::uint32_t>(
+                                            rng.next() & 0xFFFF);
+  return r;
+}
+
+void expect_equal(const std::vector<MemRequest>& got,
+                  const std::vector<MemRequest>& want,
+                  const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].addr, want[i].addr) << label << " req " << i;
+    ASSERT_EQ(got[i].type, want[i].type) << label << " req " << i;
+    ASSERT_EQ(got[i].pre_delay, want[i].pre_delay) << label << " req " << i;
+    ASSERT_EQ(got[i].bypass_private, want[i].bypass_private)
+        << label << " req " << i;
+  }
+}
+
+// Framed decode must agree with the flat binary reference on the same
+// request stream, for adversarial frame sizes and refill chunks.
+TEST(TraceFrameDifferential, FramedAgreesWithFlatBinaryReference) {
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 7);
+    std::vector<MemRequest> t(1 + rng.next() % 64);
+    for (auto& r : t) r = random_request(rng);
+    const std::string label = "seed " + std::to_string(seed);
+
+    // Reference: flat v2 round trip.
+    std::stringstream flat(std::ios::binary | std::ios::in | std::ios::out);
+    save_trace_as(flat, t, TraceFormat::kBinaryV2);
+    const std::vector<MemRequest> reference = load_trace_auto(flat);
+
+    FramedTraceOptions opts;
+    opts.frame_requests = 1 + rng.next() % 17;
+    std::ostringstream os(std::ios::binary);
+    {
+      FramedTraceEncoder enc(os, opts);
+      for (const MemRequest& r : t) enc.put(r);
+      enc.finish();
+    }
+    const std::string bytes = os.str();
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                              std::size_t{64}, kTraceChunkBytes}) {
+      std::istringstream is(bytes, std::ios::binary);
+      FramedTraceDecoder dec(is, chunk);
+      std::vector<MemRequest> got;
+      while (auto r = dec.next()) got.push_back(*r);
+      expect_equal(got, reference,
+                   label + " frame_requests=" +
+                       std::to_string(opts.frame_requests) +
+                       " chunk=" + std::to_string(chunk));
+    }
+  }
+}
+
+// ------------------------------------------------------- seek vs. tail
+
+/// The replay-stats fields the e2e tier compares; the seek oracle
+/// compares the same set so "stats-identical" means the same thing in
+/// both tiers.
+#define PIPO_REPLAY_STATS_FIELDS(X) \
+  X(accesses)                       \
+  X(l1_hits)                        \
+  X(l2_hits)                        \
+  X(l3_hits)                        \
+  X(l3_misses)                      \
+  X(back_invalidations)             \
+  X(upgrades)                       \
+  X(invalidations_for_write)        \
+  X(l2_evictions)                   \
+  X(writebacks)                     \
+  X(prefetch_fills)                 \
+  X(prefetch_drops)                 \
+  X(pp_tag_fills)                   \
+  X(pevicts)                        \
+  X(ric_exemptions)
+
+struct ReplayResult {
+  Tick exec_time;
+  System::Stats stats;
+};
+
+ReplayResult replay_on_core0(std::unique_ptr<Workload> w) {
+  Simulation sim(testcfg::mini());
+  sim.set_workload(0, std::move(w));
+  for (CoreId c = 1; c < sim.num_cores(); ++c) {
+    sim.set_workload(c, std::make_unique<IdleWorkload>());
+  }
+  ReplayResult r;
+  r.exec_time = sim.run();
+  r.stats = sim.system().stats();
+  return r;
+}
+
+void expect_stats_identical(const ReplayResult& got, const ReplayResult& want,
+                            const std::string& label) {
+  EXPECT_EQ(got.exec_time, want.exec_time) << label;
+#define PIPO_X(field) \
+  EXPECT_EQ(got.stats.field, want.stats.field) << label << ": " << #field;
+  PIPO_REPLAY_STATS_FIELDS(PIPO_X)
+#undef PIPO_X
+}
+
+class TraceFrameSeekOracle : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "pipo_frame_seek_oracle";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(TraceFrameSeekOracle, SeekReplayEqualsTailOfFullReplay) {
+  // Cache-friendly addresses (small strides) so the replays actually
+  // exercise hits, evictions and the monitor, not just misses.
+  Rng rng(0xF00DF00Dull);
+  std::vector<MemRequest> t(600);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    MemRequest r;
+    r.addr = ((rng.next() % 96) << 6) + (rng.next() & 63);
+    r.type = static_cast<AccessType>(rng.next() % 3);
+    r.bypass_private = (rng.next() % 5) == 0;
+    r.pre_delay = static_cast<std::uint32_t>(rng.next() % 4);
+    t[i] = r;
+  }
+  const std::string path = dir_ + "/seek.trace";
+  {
+    std::ofstream f(path, std::ios::binary);
+    FramedTraceOptions opts;
+    opts.frame_requests = 48;
+    FramedTraceEncoder enc(f, opts);
+    for (const MemRequest& r : t) enc.put(r);
+    enc.finish();
+  }
+
+  FramedTraceFile file(path);
+  ASSERT_EQ(file.total_requests(), t.size());
+  const std::size_t n_frames = file.frames().size();
+  ASSERT_GE(n_frames, 10u);
+
+  // Full decode once — the reference the tails are cut from.
+  std::vector<MemRequest> full(t.size() + 1);
+  {
+    TraceReader r0 = file.reader_from_frame(0);
+    full.resize(r0.fill(full.data(), full.size()));
+  }
+  expect_equal(full, t, "full decode");
+
+  // Random frame boundaries, plus both ends.
+  std::vector<std::size_t> ks = {0, 1, n_frames - 1, n_frames};
+  for (int i = 0; i < 6; ++i) ks.push_back(rng.next() % (n_frames + 1));
+  for (const std::size_t k : ks) {
+    const std::string label = "frame " + std::to_string(k);
+    const std::uint64_t first =
+        k == n_frames ? t.size() : file.frames()[k].first_request;
+    const std::vector<MemRequest> tail(t.begin() + first, t.end());
+
+    // Axis 1: the decoded request stream.
+    TraceReader reader = file.reader_from_frame(k);
+    std::vector<MemRequest> got(t.size() + 1);
+    got.resize(reader.fill(got.data(), got.size()));
+    expect_equal(got, tail, label);
+
+    // Axis 2: the simulated stats, seek replay vs. materialized tail —
+    // with and without prefetch decode.
+    const ReplayResult want =
+        replay_on_core0(std::make_unique<TraceWorkload>(tail));
+    for (const bool prefetch : {false, true}) {
+      const ReplayResult got_stats = replay_on_core0(file.workload_from_frame(
+          k, StreamingTraceWorkload::kDefaultChunkRequests, prefetch));
+      expect_stats_identical(got_stats, want,
+                             label + (prefetch ? " prefetch" : " sync"));
+    }
+  }
+}
+
+// Teeth: a tail starting one request later must NOT replay
+// stats-identically — proves the comparison can fail.
+TEST_F(TraceFrameSeekOracle, ComparisonHasTeeth) {
+  Rng rng(0xBEEF);
+  std::vector<MemRequest> t(200);
+  for (auto& r : t) {
+    r.addr = ((rng.next() % 32) << 6);
+    r.type = AccessType::kLoad;
+    r.pre_delay = 1;
+  }
+  const ReplayResult a =
+      replay_on_core0(std::make_unique<TraceWorkload>(t));
+  const ReplayResult b = replay_on_core0(std::make_unique<TraceWorkload>(
+      std::vector<MemRequest>(t.begin() + 1, t.end())));
+  EXPECT_NE(a.stats.accesses, b.stats.accesses);
+}
+
+}  // namespace
+}  // namespace pipo

@@ -84,6 +84,70 @@ TEST(StreamingTrace, ChunkBufferStaysFixedOnLargeTrace) {
   }
 }
 
+// ---------------------------------------------------------- prefetch
+
+// Prefetch decode must be invisible: the replayed stream equals the
+// synchronous path request-for-request in every format, and the
+// workload's chunk buffer keeps its configured capacity (the worker
+// swaps equally-sized buffers, never grows them).
+TEST(StreamingTracePrefetch, MatchesSynchronousReplayAllFormats) {
+  constexpr std::size_t kChunk = 32;
+  const auto t = random_trace(10 * kChunk + 7, 3);
+  for (TraceFormat fmt : {TraceFormat::kTextV1, TraceFormat::kBinaryV2,
+                          TraceFormat::kFramedV3}) {
+    StreamingTraceWorkload sync(encoded_stream(t, fmt), kChunk,
+                                /*prefetch=*/false);
+    StreamingTraceWorkload pre(encoded_stream(t, fmt), kChunk,
+                               /*prefetch=*/true);
+    EXPECT_FALSE(sync.prefetching());
+    EXPECT_TRUE(pre.prefetching());
+    for (std::size_t i = 0;; ++i) {
+      const auto a = pre.next(0);
+      const auto b = sync.next(0);
+      ASSERT_EQ(a.has_value(), b.has_value())
+          << to_string(fmt) << " req " << i;
+      if (!a) break;
+      ASSERT_EQ(a->addr, b->addr) << to_string(fmt) << " req " << i;
+      ASSERT_EQ(a->type, b->type) << to_string(fmt) << " req " << i;
+      ASSERT_EQ(a->pre_delay, b->pre_delay)
+          << to_string(fmt) << " req " << i;
+      ASSERT_LE(pre.chunk_capacity(), kChunk) << to_string(fmt);
+    }
+    EXPECT_EQ(pre.replayed(), t.size()) << to_string(fmt);
+  }
+}
+
+// A decode error on the worker thread must surface on the consumer
+// thread, and stay sticky — every next() after the first throw throws
+// again, exactly like the synchronous path.
+TEST(StreamingTracePrefetch, WorkerDecodeErrorRethrownSticky) {
+  auto ss = std::make_unique<std::stringstream>(
+      "1000 L 0\n2000 S 1\nbogus\n");
+  StreamingTraceWorkload w(std::move(ss), /*chunk_requests=*/1,
+                           /*prefetch=*/true);
+  // The two good requests may or may not be consumed before the error
+  // chunk arrives (chunk=1 pipelines them); drain until the throw.
+  std::size_t good = 0;
+  try {
+    while (w.next(0)) ++good;
+    FAIL() << "malformed line must throw";
+  } catch (const std::invalid_argument&) {
+  }
+  EXPECT_LE(good, 2u);
+  EXPECT_THROW(w.next(0), std::invalid_argument);  // sticky
+}
+
+// Tearing down mid-trace (consumer stops early) must join the worker
+// cleanly — no hang, no use-after-free. ASan/TSan CI legs watch this.
+TEST(StreamingTracePrefetch, EarlyDestructionJoinsWorker) {
+  const auto t = random_trace(5000, 4);
+  auto w = std::make_unique<StreamingTraceWorkload>(
+      encoded_stream(t, TraceFormat::kBinaryV2), /*chunk_requests=*/8,
+      /*prefetch=*/true);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(w->next(0).has_value());
+  w.reset();  // worker mid-stream: stop flag + join
+}
+
 TEST(StreamingTrace, MalformedStreamThrowsFromNext) {
   // chunk 1: the bad line is reached by the refill of the second next()
   // (with a larger chunk the first refill would surface it immediately).

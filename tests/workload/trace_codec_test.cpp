@@ -61,7 +61,8 @@ TEST(TraceCodec, RandomizedRoundTripProperty) {
     Rng rng(seed * 2654435761u + 17);
     std::vector<MemRequest> t(1 + rng.next() % 20);
     for (auto& r : t) r = random_request(rng);
-    for (TraceFormat fmt : {TraceFormat::kTextV1, TraceFormat::kBinaryV2}) {
+    for (TraceFormat fmt : {TraceFormat::kTextV1, TraceFormat::kBinaryV2,
+                            TraceFormat::kFramedV3}) {
       expect_equal(round_trip(t, fmt), t,
                    std::string("seed ") + std::to_string(seed) + " " +
                        to_string(fmt));
@@ -230,6 +231,40 @@ TEST(TraceCodecMalformed, PositiveDeltaOverflowRejected) {
   bytes += '\x04';
   const std::string msg = expect_bad_bytes(bytes, 18);
   EXPECT_NE(msg.find("overflow"), std::string::npos);
+}
+
+// Headline bugfix repro: the decoder used to accept non-minimal LEB128
+// encodings the encoder never emits (0x80 0x00 is a two-byte spelling
+// of delta 0), so the same request stream had many byte spellings and
+// record byte offsets were not canonical — exactly what a seek index
+// must pin down. Non-minimal varints are malformed input.
+TEST(TraceCodecMalformed, NonMinimalVarintRejected) {
+  // flags 0, line delta encoded as 0x80 0x00 (padded zero; embedded NUL
+  // bytes need the explicit-length string constructor).
+  const std::string msg =
+      expect_bad_bytes(magic() + '\x00' + std::string("\x80\x00", 2), 11);
+  EXPECT_NE(msg.find("non-minimal"), std::string::npos) << msg;
+  // pre_delay padded the same way: 5 as 0x85 0x00.
+  expect_bad_bytes(magic() + std::string("\x00\x05\x00\x85\x00", 5), 13);
+  // A padded-zero chain (0x80 0x80 0x00) is still one non-minimal zero.
+  expect_bad_bytes(magic() + '\x00' + std::string("\x80\x80\x00", 3), 12);
+}
+
+// The other half of the canonicality contract: the encoder's output is
+// the unique minimal spelling, so encode(decode(bytes)) == bytes for
+// any stream the strict decoder accepts.
+TEST(TraceCodec, EncoderOutputIsCanonical) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 3);
+    std::vector<MemRequest> t(1 + rng.next() % 32);
+    for (auto& r : t) r = random_request(rng);
+    std::stringstream first;
+    save_trace_as(first, t, TraceFormat::kBinaryV2);
+    const auto decoded = load_trace_v2(first);
+    std::stringstream second;
+    save_trace_as(second, decoded, TraceFormat::kBinaryV2);
+    ASSERT_EQ(first.str(), second.str()) << "seed " << seed;
+  }
 }
 
 TEST(TraceCodecMalformed, PreDelayOverflow32Rejected) {

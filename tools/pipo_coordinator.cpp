@@ -12,8 +12,8 @@
 //                    [--shard-threads S] [--epoch-ticks E]
 //                    [--llc inc|exc] [--slice-hash low|cas]
 //                    [--monitor-level l1|l2|llc]
-//                    [--trace PATH]... [--no-mixes] [--out FILE]
-//                    [--verbose]
+//                    [--trace PATH]... [--trace-prefetch]
+//                    [--no-mixes] [--out FILE] [--verbose]
 //
 // --workers N runs N in-process worker threads alongside (or instead
 // of) the fleet; with --port 0 and no --port-file the kernel still
@@ -98,6 +98,8 @@ Options parse_args(int argc, char** argv) {
       o.spec.monitor_level = parse_monitor_level(value());
     } else if (arg == "--trace") {
       o.trace_paths.push_back(value());
+    } else if (arg == "--trace-prefetch") {
+      o.spec.trace_prefetch = true;
     } else if (arg == "--no-mixes") {
       o.spec.run_mixes = false;
     } else if (arg == "--out") {

@@ -1,15 +1,18 @@
-// trace_convert — translate request traces between the text v1 and
-// binary v2 formats (docs/traces.md), streaming record by record so
-// multi-gigabyte traces convert in O(chunk) memory.
+// trace_convert — translate request traces between the text v1, binary
+// v2 and framed v3 formats (docs/traces.md), streaming record by record
+// so multi-gigabyte traces convert in O(chunk) memory.
 //
 // Usage:
-//   trace_convert <in> <out> [--to text|binary]
+//   trace_convert <in> <out> [--to text|binary|framed]
+//                 [--frame-requests N] [--compress]
 //
-// The input format is autodetected from the first byte. Without --to,
-// the output is the opposite format (the common case: text <-> binary).
-// Because save/load are lossless in both directions, converting
-// text -> binary -> text reproduces the canonical text byte-for-byte
-// (the CI smoke step pins this with cmp).
+// The input format is autodetected. Without --to, the output is the
+// opposite of text/binary (the common case); framed output is always
+// explicit. Because save/load are lossless in every direction,
+// converting text -> binary -> text reproduces the canonical text
+// byte-for-byte (the CI smoke step pins this with cmp).
+// --frame-requests sets the framed container's restart interval;
+// --compress stores zstd frames (only in builds with zstd).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -19,6 +22,7 @@
 
 #include "workload/stream_trace.h"
 #include "workload/trace_codec.h"
+#include "workload/trace_frame.h"
 
 namespace {
 
@@ -26,9 +30,10 @@ using namespace pipo;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: trace_convert <in> <out> [--to text|binary]\n"
+               "usage: trace_convert <in> <out> [--to text|binary|framed]\n"
+               "                     [--frame-requests N] [--compress]\n"
                "input format is autodetected; default output is the "
-               "opposite format\n");
+               "opposite of text/binary\n");
   std::exit(2);
 }
 
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
   const std::string out_path = argv[2];
   bool have_to = false;
   TraceFormat to = TraceFormat::kTextV1;
+  FramedTraceOptions framed_opts;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--to") == 0 && i + 1 < argc) {
       const std::string v = argv[++i];
@@ -50,6 +56,16 @@ int main(int argc, char** argv) {
       }
       to = *fmt;
       have_to = true;
+    } else if (std::strcmp(argv[i], "--frame-requests") == 0 &&
+               i + 1 < argc) {
+      framed_opts.frame_requests =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (framed_opts.frame_requests == 0) {
+        std::fprintf(stderr, "--frame-requests must be > 0\n");
+        usage();
+      }
+    } else if (std::strcmp(argv[i], "--compress") == 0) {
+      framed_opts.compress = true;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       usage();
@@ -73,7 +89,11 @@ int main(int argc, char** argv) {
     if (!out) {
       throw std::runtime_error("cannot open output file: " + out_path);
     }
-    const auto encoder = make_trace_encoder(out, to);
+    const auto encoder =
+        to == TraceFormat::kFramedV3
+            ? std::unique_ptr<TraceEncoder>(
+                  std::make_unique<FramedTraceEncoder>(out, framed_opts))
+            : make_trace_encoder(out, to);
     MemRequest chunk[4096];
     std::size_t n;
     while ((n = reader.fill(chunk, std::size(chunk))) > 0) {
