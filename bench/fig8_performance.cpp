@@ -10,19 +10,21 @@
 // (1'000'000'000 1 reproduces the paper's full-scale setup).
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/parse_num.h"
 #include <string>
 #include <vector>
 
 #include "analysis/perf_experiment.h"
 #include "workload/mixes.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace pipo;
 
   const std::uint64_t budget =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000;
+      argc > 1 ? parse_uint(argv[1], "instructions_per_core", 1) : 1'000'000;
   const std::uint64_t ws_divisor =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+      argc > 2 ? parse_uint(argv[2], "ws_divisor", 1) : 16;
 
   struct Geometry {
     std::uint32_t l, b;
@@ -94,4 +96,7 @@ int main(int argc, char** argv) {
               "most false positives, which prefetching turns into a "
               "slight performance gain.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "fig8_performance: %s\n", e.what());
+  return 2;
 }

@@ -79,7 +79,7 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--perm-rounds") {
       o.fuzz.perm_rounds = parse_uint32(value(), "--perm-rounds", 1);
     } else if (arg == "--p-threshold") {
-      o.fuzz.p_threshold = std::stod(value());
+      o.fuzz.p_threshold = parse_double(value(), "--p-threshold");
       if (o.fuzz.p_threshold <= 0.0 || o.fuzz.p_threshold > 1.0) {
         throw std::invalid_argument("--p-threshold wants (0, 1]");
       }
@@ -127,10 +127,12 @@ int main(int argc, char** argv) {
     Options o = parse_args(argc, argv);
     if (!o.quiet) o.fuzz.progress = &std::cerr;
 
+    // lint:allow(wall-clock) campaign wall timing, stderr progress only —
+    // every byte of --out/--mutation-log/--genotypes is host-time-free
     const auto t0 = std::chrono::steady_clock::now();
     Fuzzer fuzzer(o.fuzz);
     const FuzzReport report = fuzzer.run();
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();  // lint:allow(wall-clock) stderr timing
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
 

@@ -4,16 +4,18 @@
 // on average.
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/parse_num.h"
 #include <vector>
 
 #include "analysis/perf_experiment.h"
 #include "workload/mixes.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace pipo;
 
   const std::uint64_t budget =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+      argc > 1 ? parse_uint(argv[1], "instructions_per_core", 1) : 200'000;
   const std::vector<std::uint32_t> thresholds = {1, 2, 3};
 
   std::printf("Section VII-C: secThr sensitivity, %llu instructions/core\n\n",
@@ -56,4 +58,7 @@ int main(int argc, char** argv) {
   std::printf("\n\npaper check: false positives shrink as secThr grows; "
               "average performance at secThr=3 is the best of the three.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "secthr_sensitivity: %s\n", e.what());
+  return 2;
 }

@@ -5,6 +5,8 @@
 // Usage: ./build/examples/attack_demo [iterations]
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/parse_num.h"
 #include <string>
 
 #include "attack/attack_experiment.h"
@@ -32,10 +34,10 @@ void render(const char* title,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace pipo;
   const std::uint32_t iterations =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 100;
+      argc > 1 ? parse_uint32(argv[1], "iterations", 1, 1'000'000) : 100;
 
   PrimeProbeExperimentConfig cfg;
   cfg.iterations = iterations;
@@ -61,4 +63,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(defended.monitor_captures),
               static_cast<unsigned long long>(defended.monitor_prefetches));
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "attack_demo: %s\n", e.what());
+  return 2;
 }

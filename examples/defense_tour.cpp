@@ -8,16 +8,18 @@
 // attack, six machines, side-by-side observation traces.
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/parse_num.h"
 #include <vector>
 
 #include "attack/attack_experiment.h"
 #include "attack/victim.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace pipo;
 
   const std::uint32_t iters =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 60;
+      argc > 1 ? parse_uint32(argv[1], "iterations", 1, 1'000'000) : 60;
   const auto key = make_test_key(iters, 0xC0FFEE);
 
   std::printf("One Prime+Probe attack, six machines (%u iterations).\n",
@@ -52,4 +54,7 @@ int main(int argc, char** argv) {
       "erase it. Accuracy at ~the key's 1-bit fraction means the "
       "attacker has nothing.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "defense_tour: %s\n", e.what());
+  return 2;
 }

@@ -6,19 +6,21 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse_num.h"
+
 #include "attack/filter_attack.h"
 #include "common/rng.h"
 #include "filter/audit.h"
 #include "filter/auto_cuckoo_filter.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace pipo;
 
   FilterConfig cfg;
-  if (argc > 1) cfg.l = static_cast<std::uint32_t>(std::atoi(argv[1]));
-  if (argc > 2) cfg.b = static_cast<std::uint32_t>(std::atoi(argv[2]));
-  if (argc > 3) cfg.f = static_cast<std::uint32_t>(std::atoi(argv[3]));
-  if (argc > 4) cfg.mnk = static_cast<std::uint32_t>(std::atoi(argv[4]));
+  if (argc > 1) cfg.l = parse_uint32(argv[1], "l", 1);
+  if (argc > 2) cfg.b = parse_uint32(argv[2], "b", 1);
+  if (argc > 3) cfg.f = parse_uint32(argv[3], "f", 1);
+  if (argc > 4) cfg.mnk = parse_uint32(argv[4], "mnk", 1);
   cfg.validate();
 
   std::printf("Auto-Cuckoo filter: l=%u b=%u f=%u MNK=%u secThr=%u\n",
@@ -68,4 +70,7 @@ int main(int argc, char** argv) {
               targeted.mean_fills, targeted.censored ? " [censored]" : "",
               targeted.theory);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "filter_explorer: %s\n", e.what());
+  return 2;
 }

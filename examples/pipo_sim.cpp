@@ -38,6 +38,7 @@
 #include "analysis/perf_experiment.h"
 #include "attack/attack_experiment.h"
 #include "attack/victim.h"
+#include "common/parse_num.h"
 #include "sim/simulation.h"
 #include "workload/mixes.h"
 #include "workload/trace.h"        // IdleWorkload
@@ -102,36 +103,35 @@ Options parse_options(int argc, char** argv, int first) {
       return argv[++i];
     };
     if (a == "--instr") {
-      o.instr = std::strtoull(need("--instr").c_str(), nullptr, 10);
+      o.instr = parse_uint(need("--instr"), "--instr", 1);
     } else if (a == "--ws-div") {
-      o.ws_div = std::strtoull(need("--ws-div").c_str(), nullptr, 10);
+      o.ws_div = parse_uint(need("--ws-div"), "--ws-div", 1);
     } else if (a == "--core") {
       o.core = static_cast<CoreId>(
-          std::strtoul(need("--core").c_str(), nullptr, 10));
+          parse_uint32(need("--core"), "--core", 0, 1023));
       o.core_set = true;
     } else if (a == "--iters") {
-      o.iters = static_cast<std::uint32_t>(
-          std::strtoul(need("--iters").c_str(), nullptr, 10));
+      o.iters = parse_uint32(need("--iters"), "--iters", 1);
     } else if (a == "--interval") {
-      o.interval = std::strtoull(need("--interval").c_str(), nullptr, 10);
+      o.interval = parse_uint(need("--interval"), "--interval", 1);
     } else if (a == "--no-defense") {
       o.system = SystemConfig::baseline();
     } else if (a == "--defense") {
       o.system = SystemConfig::with_defense(parse_defense(need("--defense")));
     } else if (a == "--l") {
-      o.system.monitor.filter.l = static_cast<std::uint32_t>(
-          std::strtoul(need("--l").c_str(), nullptr, 10));
+      o.system.monitor.filter.l =
+          parse_uint32(need("--l"), "--l", 1);
     } else if (a == "--b") {
-      o.system.monitor.filter.b = static_cast<std::uint32_t>(
-          std::strtoul(need("--b").c_str(), nullptr, 10));
+      o.system.monitor.filter.b =
+          parse_uint32(need("--b"), "--b", 1);
     } else if (a == "--secthr") {
-      o.system.monitor.filter.sec_thr = static_cast<std::uint32_t>(
-          std::strtoul(need("--secthr").c_str(), nullptr, 10));
+      o.system.monitor.filter.sec_thr =
+          parse_uint32(need("--secthr"), "--secthr", 1);
     } else if (a == "--mnk") {
-      o.system.monitor.filter.mnk = static_cast<std::uint32_t>(
-          std::strtoul(need("--mnk").c_str(), nullptr, 10));
+      o.system.monitor.filter.mnk =
+          parse_uint32(need("--mnk"), "--mnk", 1);
     } else if (a == "--seed") {
-      o.system.seed = std::strtoull(need("--seed").c_str(), nullptr, 10);
+      o.system.seed = parse_uint(need("--seed"), "--seed");
     } else if (a == "--record") {
       o.record_dir = need("--record");
     } else if (a == "--record-format") {
@@ -144,7 +144,7 @@ Options parse_options(int argc, char** argv, int first) {
     } else if (a == "--prefetch") {
       o.prefetch = true;
     } else if (a == "--from-frame") {
-      o.from_frame = std::strtoull(need("--from-frame").c_str(), nullptr, 10);
+      o.from_frame = parse_uint(need("--from-frame"), "--from-frame");
       o.from_frame_set = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
@@ -178,7 +178,7 @@ void dump_system(const System& sys, std::uint64_t instructions) {
 
 int run_mix_cmd(int argc, char** argv) {
   if (argc < 3) usage();
-  const unsigned mix = static_cast<unsigned>(std::atoi(argv[2]));
+  const unsigned mix = parse_uint32(argv[2], "mix", 1, num_mixes());
   const Options o = parse_options(argc, argv, 3);
   const TraceCapture capture{o.record_dir, o.record_format};
   const auto r = run_mix_perf(mix, o.system, o.instr, o.system.seed,

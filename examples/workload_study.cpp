@@ -6,13 +6,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse_num.h"
+
 #include "analysis/perf_experiment.h"
 #include "workload/mixes.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace pipo;
   const std::uint64_t budget =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300'000;
+      argc > 1 ? parse_uint(argv[1], "instructions_per_core", 1) : 300'000;
 
   std::printf("Table III mixes, %llu instructions/core "
               "(paper: 1B; see EXPERIMENTS.md for scaling)\n\n",
@@ -42,4 +44,7 @@ int main(int argc, char** argv) {
               "(paper: ~1.001, i.e. +0.1%%)\n",
               norm_sum / num_mixes());
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "workload_study: %s\n", e.what());
+  return 2;
 }

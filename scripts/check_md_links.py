@@ -4,8 +4,11 @@
 Scans every tracked *.md (skipping build trees) for inline Markdown
 links and images, and verifies that relative targets exist on disk.
 External schemes (http/https/mailto) and pure in-page anchors are
-skipped; a `path#anchor` target is checked for the path only. Exits
-non-zero listing every dead link, so CI can gate on documentation rot.
+skipped; a `path#anchor` target is checked for the path only. Also
+fails on orphaned documentation: every docs/*.md must be linked from
+at least one other Markdown file, or it is unreachable from the README
+and will rot unread. Exits non-zero listing every dead link and
+orphan, so CI can gate on documentation rot.
 
 Usage: scripts/check_md_links.py [repo_root]
 """
@@ -13,7 +16,7 @@ import os
 import re
 import sys
 
-SKIP_DIRS = {".git", "build", "build-asan", "build_asan", ".claude"}
+SKIP_DIRS = {".git", ".claude"}
 # Inline links/images: [text](target) — stops at the first unescaped ')'.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
@@ -21,14 +24,19 @@ EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
 
 def md_files(root):
     for dirpath, dirnames, filenames in os.walk(root):
-        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        # Skip build trees by shape (build, build-ubsan, ...), not by an
+        # ever-growing name list.
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
         for name in filenames:
             if name.endswith(".md"):
                 yield os.path.join(dirpath, name)
 
 
 def check_file(path, root):
+    """Returns (dead_links, resolved_target_paths) for one file."""
     dead = []
+    resolved_targets = set()
     with open(path, encoding="utf-8") as f:
         in_fence = False
         for lineno, line in enumerate(f, 1):
@@ -46,25 +54,41 @@ def check_file(path, root):
                     resolved = os.path.join(root, rel.lstrip("/"))
                 else:
                     resolved = os.path.join(os.path.dirname(path), rel)
-                if not os.path.exists(resolved):
+                if os.path.exists(resolved):
+                    resolved_targets.add(os.path.realpath(resolved))
+                else:
                     dead.append((lineno, target))
-    return dead
+    return dead, resolved_targets
 
 
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     failures = 0
     checked = 0
-    for path in sorted(md_files(root)):
+    linked = set()
+    paths = sorted(md_files(root))
+    for path in paths:
         checked += 1
-        for lineno, target in check_file(path, root):
+        dead, targets = check_file(path, root)
+        linked |= targets
+        for lineno, target in dead:
             rel_path = os.path.relpath(path, root)
             print(f"DEAD LINK {rel_path}:{lineno}: {target}")
             failures += 1
+    # Reachability: a docs page nothing links to is invisible from the
+    # README and rots unread.
+    for path in paths:
+        rel_path = os.path.relpath(path, root)
+        if os.path.dirname(rel_path) != "docs":
+            continue
+        if os.path.realpath(path) not in linked:
+            print(f"ORPHAN DOC {rel_path}: not linked from any markdown file")
+            failures += 1
     if failures:
-        print(f"checked {checked} markdown files: {failures} dead link(s)")
+        print(f"checked {checked} markdown files: {failures} problem(s)")
     else:
-        print(f"checked {checked} markdown files: all relative links resolve")
+        print(f"checked {checked} markdown files: all relative links "
+              f"resolve, no orphaned docs")
     return 1 if failures else 0
 
 

@@ -1,0 +1,565 @@
+#!/usr/bin/env python3
+"""Repo-invariant determinism linter: the byte-identity contract, statically.
+
+Every proof layer in this repository — the differential oracles, the
+golden e2e matrix, the fabric byte-identity oracle, the fuzzer's
+cross-worker-count identity — rests on one contract: simulated output is
+a pure function of (config, seed), bit for bit, at any thread count.
+The oracle tests enforce that contract dynamically, after a divergence
+ships; this linter rejects the code patterns that break it at lint time:
+
+  wall-clock           Wall-clock reads (steady/system/high_resolution
+                       _clock::now(), time(), clock_gettime(), ...)
+                       outside the allowlisted wall-timing set (wall_ms
+                       in sweep_runner/campaign, lease/transport
+                       timeouts, backoff, and the timing-only
+                       bench/micro_* benches).
+  raw-random           Nondeterministic randomness: rand()/srand(),
+                       std::random_device, *rand48. Simulated paths
+                       must use the seeded pipo::Rng (common/rng.h).
+  unordered-iteration  Iterating a std::unordered_{map,set,multimap,
+                       multiset} — bucket order is unspecified and
+                       varies across libstdc++ versions and seeds, so
+                       anything emitted from such a loop diverges.
+  float-format         printf-family float conversions without an
+                       explicit precision ("%f", "%g"): default
+                       precision is a silent dependency on the format
+                       implementation; result emitters must pin it
+                       ("%.6f") so records are byte-stable.
+  raw-parse            Direct strtoul/atoi/std::stod-style parsing:
+                       CLIs must use common/parse_num.h, which rejects
+                       signs, trailing junk and out-of-range values
+                       instead of silently running a different
+                       experiment.
+  result-json          Hand-rendered campaign result records (string
+                       literals carrying the record's signature keys):
+                       all records must go through config_result_json()
+                       in src/fabric/campaign.cpp so the fabric merge,
+                       sweep_runner and the fuzzer stay byte-identical.
+  waiver-reason        A lint:allow() waiver without a reason.
+
+A site that is legitimately exempt carries an inline waiver on the same
+line or the line directly above:
+
+    // lint:allow(wall-clock) progress timing, stderr only
+
+The rule name must match, and the reason must be non-empty — a waiver
+is a reviewed decision, not an escape hatch.
+
+The linter prefers a libclang token stream when the bindings are
+importable (exact comment/string classification) and falls back to a
+built-in token-level scanner (handles //, /* */, string/char literals,
+raw strings, digit separators) that is pinned by the fixture suite in
+tests/lint/fixtures + scripts/lint_determinism_test.py.
+
+Usage:
+    scripts/lint_determinism.py [--root DIR] [--list-rules] [paths...]
+
+With no paths, walks src/, bench/, tools/, examples/ under --root
+(default: the repository root containing this script). Exits 0 when
+clean, 1 on violations, 2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directories walked by default, relative to the repo root.
+DEFAULT_DIRS = ("src", "bench", "tools", "examples")
+SOURCE_EXTS = (".cpp", ".cc", ".cxx", ".h", ".hpp")
+
+# ---------------------------------------------------------------------------
+# Built-in allowlist: (repo-relative path or prefix, rule) pairs.
+#
+# These are the repo's sanctioned wall-timing and implementation sites —
+# the places where the pattern is the point, reviewed once here instead
+# of re-waived inline at every release. Everything else needs an inline
+# lint:allow() with a reason.
+ALLOW_EXACT = {
+    # The checked-parse implementation is the one place strtoull belongs.
+    ("src/common/parse_num.h", "raw-parse"),
+    # config_result_json() lives here: the single canonical renderer the
+    # result-json rule forces everyone else through.
+    ("src/fabric/campaign.cpp", "result-json"),
+    # Host wall timing that is *documented output*, never simulated
+    # state: per-config wall_ms and the sweep scaling record...
+    ("src/fabric/campaign.cpp", "wall-clock"),
+    ("bench/sweep_runner.cpp", "wall-clock"),
+    # ...the coordinator's lease-expiry clock...
+    ("src/fabric/coordinator.cpp", "wall-clock"),
+    # ...and transport receive-timeout bookkeeping / reconnect backoff.
+    ("src/fabric/transport.cpp", "wall-clock"),
+    ("src/fabric/worker.cpp", "wall-clock"),
+}
+ALLOW_PREFIX = (
+    # Timing-only microbenches: wall time is their entire output.
+    ("bench/micro_", "wall-clock"),
+)
+
+WAIVER_RE = re.compile(r"lint:allow\(([a-z][a-z0-9-]*(?:\s*,\s*[a-z][a-z0-9-]*)*)\)\s*(.*)")
+
+
+def allowlisted(rel_path, rule):
+    rel = rel_path.replace(os.sep, "/")
+    if (rel, rule) in ALLOW_EXACT:
+        return True
+    return any(rel.startswith(p) and rule == r for p, r in ALLOW_PREFIX)
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer: split a C++ source into masked code + string literals + comments.
+#
+# The masked code preserves line/column positions (literal and comment
+# bodies become spaces) so rule regexes report exact locations and never
+# fire inside strings or comments. String literals are collected
+# separately for the rules that inspect format strings.
+
+
+class FileModel:
+    def __init__(self, rel_path):
+        self.rel_path = rel_path
+        self.code_lines = []      # comments and literal bodies blanked
+        self.string_literals = []  # (line_no, literal_text) without quotes
+        self.comments = []        # (line_no, comment_text)
+
+
+def _try_libclang_tokenize(path, rel_path):
+    """Exact tokenization via libclang, when the bindings are installed.
+
+    Uses only the lexer (no semantic analysis), so it works without
+    compile flags. Returns None when libclang is unavailable, which
+    selects the built-in scanner below.
+    """
+    try:
+        from clang import cindex  # type: ignore
+        index = cindex.Index.create()
+        tu = index.parse(path, args=["-std=c++20", "-fsyntax-only"],
+                         options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    except Exception:
+        return None
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    lines = text.split("\n")
+    masked = [list(l) for l in lines]
+    model = FileModel(rel_path)
+    try:
+        for tok in tu.get_tokens(extent=tu.cursor.extent):
+            kind = tok.kind.name
+            if kind not in ("COMMENT", "LITERAL"):
+                continue
+            spelling = tok.spelling
+            start = tok.extent.start
+            end = tok.extent.end
+            if kind == "COMMENT":
+                model.comments.append((start.line, spelling))
+            elif spelling.startswith(('"', 'L"', 'u"', 'U"', 'u8"', 'R"')):
+                model.string_literals.append((start.line, spelling.strip('"')))
+            else:
+                continue  # numeric/char literals stay in the code view
+            for ln in range(start.line, end.line + 1):
+                row = masked[ln - 1]
+                lo = start.column - 1 if ln == start.line else 0
+                hi = end.column - 1 if ln == end.line else len(row)
+                for c in range(lo, min(hi, len(row))):
+                    row[c] = " "
+    except Exception:
+        return None
+    model.code_lines = ["".join(r) for r in masked]
+    return model
+
+
+def _scan_tokenize(path, rel_path):
+    """Built-in token-level scanner (the no-libclang fallback)."""
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    model = FileModel(rel_path)
+    code = []     # masked characters of the current line
+    line_no = 1
+    i, n = 0, len(text)
+    state = "code"
+    literal = []       # current string literal body
+    literal_line = 0
+    comment = []       # current comment body
+    comment_line = 0
+    raw_delim = None   # raw string closing delimiter ")delim"
+
+    def end_line():
+        nonlocal code, line_no
+        model.code_lines.append("".join(code))
+        code = []
+        line_no += 1
+
+    def flush_comment():
+        nonlocal comment
+        if comment:
+            model.comments.append((comment_line, "".join(comment)))
+            comment = []
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "\n":
+                end_line()
+            elif c == "/" and nxt == "/":
+                state = "line_comment"
+                comment_line = line_no
+                code.append("  ")
+                i += 1
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                comment_line = line_no
+                code.append("  ")
+                i += 1
+            elif c == '"':
+                # Raw string? look back for R / u8R / LR / uR / UR prefix.
+                m = re.search(r'(?:u8|[uUL])?R$', "".join(code[-3:]))
+                if m:
+                    dm = re.match(r'[^()\\ \n]{0,16}\(', text[i + 1:])
+                    if dm is not None:
+                        delim = dm.group(0)[:-1]
+                        raw_delim = ")" + delim + '"'
+                        state = "raw_string"
+                        literal = []
+                        literal_line = line_no
+                        code.append('"')
+                        i += 1 + len(dm.group(0))
+                        continue
+                state = "string"
+                literal = []
+                literal_line = line_no
+                code.append('"')
+            elif c == "'":
+                prev = code[-1] if code else ""
+                if prev.isalnum() or prev == "_":
+                    code.append(c)  # digit separator: 1'000'000
+                else:
+                    state = "char"
+                    code.append("'")
+            else:
+                code.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                flush_comment()
+                state = "code"
+                end_line()
+            else:
+                comment.append(c)
+                code.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                flush_comment()
+                state = "code"
+                code.append("  ")
+                i += 1
+            elif c == "\n":
+                flush_comment()
+                comment_line = line_no + 1
+                end_line()
+            else:
+                comment.append(c)
+                code.append(" ")
+        elif state == "string":
+            if c == "\\":
+                literal.append(text[i:i + 2])
+                code.append("  ")
+                i += 1
+            elif c == '"':
+                model.string_literals.append((literal_line, "".join(literal)))
+                state = "code"
+                code.append('"')
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                model.string_literals.append((literal_line, "".join(literal)))
+                state = "code"
+                end_line()
+            else:
+                literal.append(c)
+                code.append(" ")
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                model.string_literals.append((literal_line, "".join(literal)))
+                state = "code"
+                code.append('"')
+                i += len(raw_delim) - 1
+            elif c == "\n":
+                literal.append(c)
+                end_line()
+            else:
+                literal.append(c)
+                code.append(" ")
+        elif state == "char":
+            if c == "\\":
+                code.append("  ")
+                i += 1
+            elif c == "'" or c == "\n":
+                state = "code"
+                code.append("'" if c == "'" else "")
+                if c == "\n":
+                    end_line()
+            else:
+                code.append(" ")
+        i += 1
+    if state == "line_comment":
+        flush_comment()
+    if code or not model.code_lines:
+        model.code_lines.append("".join(code))
+    return model
+
+
+def tokenize(path, rel_path):
+    model = _try_libclang_tokenize(path, rel_path)
+    if model is None:
+        model = _scan_tokenize(path, rel_path)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each returns a list of (line_no, message).
+
+WALL_CLOCK_RE = re.compile(
+    r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+    r"|(?<![\w.>])time\s*\(\s*(?:NULL|0|nullptr)?\s*\)"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bftime\s*\("
+    r"|(?<![\w.>])clock\s*\(\s*\)|\blocaltime\s*\(|\bgmtime\s*\(")
+
+RAW_RANDOM_RE = re.compile(
+    r"(?<![\w.>])s?rand\s*\(|\brandom_device\b|\b[dlm]rand48\s*\("
+    r"|\brandom\s*\(\s*\)|\bgetrandom\s*\(|\bgetentropy\s*\(")
+
+RAW_PARSE_RE = re.compile(
+    r"(?<![\w.>:])(?:std\s*::\s*)?"
+    r"(atoi|atol|atoll|atof"
+    r"|strtol|strtoll|strtoul|strtoull|strtof|strtod|strtold"
+    r"|stoi|stol|stoll|stoul|stoull|stof|stod|stold|sscanf)\s*\(")
+
+# printf float conversion missing an explicit precision: flags/width but
+# no ".<digits>" (or ".*") before the conversion letter.
+FLOAT_FORMAT_RE = re.compile(
+    r"%([-+ #0']|\d|\*)*(hh|h|ll|l|L|j|z|t)?[fFeEgG]")
+FLOAT_PRECISION_RE = re.compile(r"%[^%a-zA-Z]*\.(?:\d+|\*)[^%a-zA-Z]*[fFeEgG]$")
+
+# Campaign-record signature keys: a string literal carrying one of these
+# is rendering a result record by hand.
+RESULT_KEYS = ('"mix":', '"wall_ms":', '"mi_bits":', '"decoder_acc":',
+               '"false_positives_per_mi":')
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*?):([^;]*?)\)")
+BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?begin\s*\(")
+
+
+def _unordered_names(code_text):
+    """Identifiers declared with an unordered container type."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(code_text):
+        # Walk the template argument list to its matching '>'.
+        i = m.end()
+        depth = 1
+        while i < len(code_text) and depth > 0:
+            if code_text[i] == "<":
+                depth += 1
+            elif code_text[i] == ">":
+                depth -= 1
+            i += 1
+        ident = re.match(r"\s*&?\s*(\w+)", code_text[i:])
+        if ident:
+            names.add(ident.group(1))
+    return names
+
+
+def rule_wall_clock(model):
+    return [(ln, "wall-clock read (%s) — simulated results must be a pure "
+                 "function of (config, seed)" % m.group(0).strip())
+            for ln, m in _code_matches(model, WALL_CLOCK_RE)]
+
+
+def rule_raw_random(model):
+    return [(ln, "nondeterministic randomness (%s) — use the seeded "
+                 "pipo::Rng (common/rng.h)" % m.group(0).strip("( "))
+            for ln, m in _code_matches(model, RAW_RANDOM_RE)]
+
+
+def rule_raw_parse(model):
+    return [(ln, "raw numeric parse %s() — use common/parse_num.h, which "
+                 "rejects signs, trailing junk and out-of-range values"
+                 % m.group(1))
+            for ln, m in _code_matches(model, RAW_PARSE_RE)]
+
+
+def rule_unordered_iteration(model):
+    code_text = "\n".join(model.code_lines)
+    names = _unordered_names(code_text)
+    out = []
+    for ln, line in enumerate(model.code_lines, 1):
+        for m in RANGE_FOR_RE.finditer(line):
+            tail = re.search(r"(\w+)\s*$", m.group(2).strip())
+            if tail and tail.group(1) in names:
+                out.append((ln, "iteration over unordered container '%s' — "
+                                "bucket order is unspecified; iterate a "
+                                "sorted copy or use a deterministic "
+                                "container" % tail.group(1)))
+        for m in BEGIN_CALL_RE.finditer(line):
+            if m.group(1) in names:
+                out.append((ln, "iteration over unordered container '%s' "
+                                "via begin() — bucket order is unspecified"
+                                % m.group(1)))
+    return out
+
+
+def rule_float_format(model):
+    out = []
+    for ln, lit in model.string_literals:
+        for m in FLOAT_FORMAT_RE.finditer(lit):
+            spec = m.group(0)
+            if "." not in spec:
+                out.append((ln, "float conversion '%s' without an explicit "
+                                "precision — pin it (e.g. %%.6f) so emitted "
+                                "records are byte-stable" % spec))
+    return out
+
+
+def rule_result_json(model):
+    out = []
+    for ln, lit in model.string_literals:
+        text = lit.replace('\\"', '"')
+        for key in RESULT_KEYS:
+            if key in text:
+                out.append((ln, "hand-rendered campaign record key %s — all "
+                                "result records must go through "
+                                "config_result_json() (src/fabric/campaign.h)"
+                                % key))
+                break
+    return out
+
+
+def _code_matches(model, regex):
+    for ln, line in enumerate(model.code_lines, 1):
+        for m in regex.finditer(line):
+            yield ln, m
+
+
+RULES = [
+    ("wall-clock", rule_wall_clock),
+    ("raw-random", rule_raw_random),
+    ("unordered-iteration", rule_unordered_iteration),
+    ("float-format", rule_float_format),
+    ("raw-parse", rule_raw_parse),
+    ("result-json", rule_result_json),
+]
+RULE_IDS = {rid for rid, _ in RULES} | {"waiver-reason"}
+
+
+# ---------------------------------------------------------------------------
+# Waivers and the per-file driver.
+
+
+def collect_waivers(model):
+    """Map line -> set of waived rules; bad waivers become violations."""
+    waived = {}
+    violations = []
+    for ln, text in model.comments:
+        m = WAIVER_RE.search(text)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        reason = m.group(2).strip()
+        unknown = rules - RULE_IDS
+        if unknown:
+            violations.append((ln, "waiver-reason",
+                               "lint:allow names unknown rule(s): %s"
+                               % ", ".join(sorted(unknown))))
+            continue
+        if not reason:
+            violations.append((ln, "waiver-reason",
+                               "lint:allow(%s) without a reason — a waiver "
+                               "is a reviewed decision, say why"
+                               % ",".join(sorted(rules))))
+            continue
+        # A waiver covers its own line and the next line that carries
+        # code, skipping blank lines and comment continuation lines so a
+        # wrapped explanation still reaches the site below it.
+        waived.setdefault(ln, set()).update(rules)
+        for covered in range(ln + 1, min(ln + 8, len(model.code_lines) + 1)):
+            waived.setdefault(covered, set()).update(rules)
+            if model.code_lines[covered - 1].strip():
+                break
+    return waived, violations
+
+
+def lint_file(path, rel_path):
+    model = tokenize(path, rel_path)
+    waived, violations = collect_waivers(model)
+    for rule_id, fn in RULES:
+        if allowlisted(rel_path, rule_id):
+            continue
+        for ln, msg in fn(model):
+            if rule_id in waived.get(ln, ()):
+                continue
+            violations.append((ln, rule_id, msg))
+    violations.sort()
+    return violations
+
+
+def gather_paths(root, args_paths):
+    files = []
+    if args_paths:
+        for p in args_paths:
+            if os.path.isdir(p):
+                for dirpath, _, names in sorted(os.walk(p)):
+                    files.extend(os.path.join(dirpath, n) for n in sorted(names)
+                                 if n.endswith(SOURCE_EXTS))
+            else:
+                files.append(p)
+    else:
+        for d in DEFAULT_DIRS:
+            top = os.path.join(root, d)
+            if not os.path.isdir(top):
+                continue
+            for dirpath, _, names in sorted(os.walk(top)):
+                files.extend(os.path.join(dirpath, n) for n in sorted(names)
+                             if n.endswith(SOURCE_EXTS))
+    return files
+
+
+def lint_paths(root, paths=None):
+    """Lint files (or the default tree under root); returns violation list."""
+    out = []
+    for path in gather_paths(root, paths):
+        rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+        for ln, rule_id, msg in lint_file(path, rel):
+            out.append((rel.replace(os.sep, "/"), ln, rule_id, msg))
+    return out
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of scripts/)")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("paths", nargs="*",
+                    help="files/directories to lint (default: src bench "
+                         "tools examples under --root)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rid in sorted(RULE_IDS):
+            print(rid)
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    violations = lint_paths(root, args.paths)
+    for rel, ln, rule_id, msg in violations:
+        print("%s:%d: [%s] %s" % (rel, ln, rule_id, msg))
+    if violations:
+        print("lint_determinism: %d violation(s); waive a reviewed site "
+              "with '// lint:allow(<rule>) <reason>'" % len(violations))
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

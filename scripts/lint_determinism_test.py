@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Golden tests for scripts/lint_determinism.py.
+
+Each fixture under tests/lint/fixtures/ carries its expected findings
+inline as `// expect-lint: <rule>` annotations (same line) or
+`// expect-lint(+N): <rule>` (N lines below the annotation). A fixture
+with no annotations — clean.cpp, waived.cpp — must lint clean. The
+suite also pins the CLI exit-code contract and asserts the repository
+tree itself is violation-free, which is the property CI enforces.
+
+Runs under plain unittest (no third-party deps); registered with ctest
+under the `lint` label:
+
+    python3 scripts/lint_determinism_test.py
+"""
+
+import importlib.util
+import re
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parent
+ROOT = SCRIPTS.parent
+LINTER = SCRIPTS / "lint_determinism.py"
+FIXTURES = ROOT / "tests" / "lint" / "fixtures"
+
+_spec = importlib.util.spec_from_file_location("lint_determinism", LINTER)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+EXPECT_RE = re.compile(
+    r"expect-lint(?:\(([+-]\d+)\))?:\s*([a-z][a-z0-9-]*(?:\s*,\s*[a-z][a-z0-9-]*)*)")
+
+
+def expected_findings(path):
+    """Parse expect-lint annotations into a {(line, rule)} set."""
+    out = set()
+    for ln, text in enumerate(path.read_text().splitlines(), 1):
+        m = EXPECT_RE.search(text)
+        if not m:
+            continue
+        offset = int(m.group(1) or 0)
+        for rule in re.split(r"\s*,\s*", m.group(2)):
+            out.add((ln + offset, rule))
+    return out
+
+
+def actual_findings(path):
+    rel = path.relative_to(ROOT).as_posix()
+    return {(ln, rule) for ln, rule, _ in lint.lint_file(str(path), rel)}
+
+
+class FixtureGolden(unittest.TestCase):
+    """Every fixture's findings must match its inline annotations."""
+
+    def test_fixture_dir_is_populated(self):
+        self.assertTrue(sorted(FIXTURES.glob("*.cpp")),
+                        "no fixtures found under %s" % FIXTURES)
+
+    def test_fixtures_match_annotations(self):
+        for path in sorted(FIXTURES.glob("*.cpp")):
+            with self.subTest(fixture=path.name):
+                self.assertEqual(actual_findings(path),
+                                 expected_findings(path))
+
+    def test_every_rule_has_a_violating_fixture(self):
+        covered = set()
+        for path in FIXTURES.glob("*.cpp"):
+            covered.update(rule for _, rule in expected_findings(path))
+        self.assertEqual(covered, set(lint.RULE_IDS),
+                         "each lint rule needs a fixture that triggers it")
+
+    def test_waived_and_clean_fixtures_have_no_annotations(self):
+        for name in ("clean.cpp", "waived.cpp"):
+            self.assertEqual(expected_findings(FIXTURES / name), set(),
+                             "%s must expect zero findings" % name)
+
+
+class WaiverSemantics(unittest.TestCase):
+    def test_waiver_reaches_next_code_line_over_comment_wrap(self):
+        path = FIXTURES / "waived.cpp"
+        self.assertEqual(actual_findings(path), set())
+
+    def test_waiver_without_reason_grants_no_coverage(self):
+        found = actual_findings(FIXTURES / "waiver_missing_reason.cpp")
+        rules = {rule for _, rule in found}
+        self.assertIn("waiver-reason", rules)
+        self.assertIn("raw-parse", rules,
+                      "a reason-less waiver must not suppress the site")
+
+
+class RepositoryTree(unittest.TestCase):
+    """The enforced property: the tree itself lints clean."""
+
+    def test_default_tree_is_clean(self):
+        violations = lint.lint_paths(str(ROOT))
+        self.assertEqual(violations, [],
+                         "\n".join("%s:%d: [%s] %s" % v for v in violations))
+
+    def test_default_tree_covers_expected_dirs(self):
+        files = lint.gather_paths(str(ROOT), None)
+        tops = {Path(f).relative_to(ROOT).parts[0] for f in files}
+        self.assertLessEqual({"src", "bench", "tools", "examples"}, tops)
+
+
+class CommandLine(unittest.TestCase):
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, str(LINTER), "--root", str(ROOT), *args],
+            capture_output=True, text=True)
+
+    def test_violating_fixture_exits_one_with_location(self):
+        r = self.run_cli(str(FIXTURES / "raw_parse.cpp"))
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("raw_parse.cpp", r.stdout)
+        self.assertIn("[raw-parse]", r.stdout)
+
+    def test_clean_fixture_exits_zero(self):
+        r = self.run_cli(str(FIXTURES / "clean.cpp"))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("clean", r.stdout)
+
+    def test_list_rules_names_every_rule(self):
+        r = self.run_cli("--list-rules")
+        self.assertEqual(r.returncode, 0)
+        self.assertEqual(set(r.stdout.split()), set(lint.RULE_IDS))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -121,8 +121,14 @@ std::uint32_t assign_trace_scenario(Simulation& sim,
       if (!is_core_trace_name(entry.path().filename().string(), &digits)) {
         continue;
       }
-      // > 9 digits cannot be a valid core id (and would overflow stoul).
-      if (digits.size() > 9 || std::stoul(digits) >= num_cores) {
+      // > 9 digits cannot be a valid core id (and would overflow stoul);
+      // num_cores doubles as the out-of-range sentinel.
+      const unsigned long core_id =
+          digits.size() > 9
+              ? num_cores
+              // lint:allow(raw-parse) prevalidated by is_core_trace_name()
+              : std::stoul(digits);
+      if (core_id >= num_cores) {
         throw std::runtime_error(
             "scenario drives core " + digits + " but the simulation has " +
             std::to_string(num_cores) + " cores: " + entry.path().string());
@@ -130,11 +136,10 @@ std::uint32_t assign_trace_scenario(Simulation& sim,
       // The assignment loop below probes the canonical (unpadded) name
       // only; a zero-padded core01.trace would validate here yet never
       // load — exactly the silent drop this loop exists to prevent.
-      if (std::to_string(std::stoul(digits)) != digits) {
+      if (std::to_string(core_id) != digits) {
         throw std::runtime_error(
             "non-canonical core trace name (want core" +
-            std::to_string(std::stoul(digits)) + ".trace): " +
-            entry.path().string());
+            std::to_string(core_id) + ".trace): " + entry.path().string());
       }
     }
     for (CoreId c = 0; c < num_cores; ++c) {

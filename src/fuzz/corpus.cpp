@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/parse_num.h"
+
 namespace pipo {
 
 namespace fs = std::filesystem;
@@ -20,16 +22,9 @@ std::string fmt_double(double v) {
   return buf;
 }
 
-double parse_double(const std::string& key, const std::string& v) {
-  try {
-    std::size_t pos = 0;
-    const double d = std::stod(v, &pos);
-    if (pos != v.size()) throw std::invalid_argument(v);
-    return d;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("corpus entry field '" + key +
-                                "' is not a number: " + v);
-  }
+double parse_double_field(const std::string& key, const std::string& v) {
+  const std::string what = "corpus entry field '" + key + "'";
+  return pipo::parse_double(v, what.c_str());
 }
 
 }  // namespace
@@ -80,19 +75,19 @@ CorpusEntry parse_corpus_entry_text(const std::string& text) {
       have_genotype = true;
     } else if (key == "perm_rounds") {
       e.perm_rounds =
-          static_cast<std::uint32_t>(parse_double(key, value));
+          static_cast<std::uint32_t>(parse_double_field(key, value));
     } else if (key == "mi_lo") {
-      e.mi_lo = parse_double(key, value);
+      e.mi_lo = parse_double_field(key, value);
     } else if (key == "mi_hi") {
-      e.mi_hi = parse_double(key, value);
+      e.mi_hi = parse_double_field(key, value);
     } else if (key == "p_hi") {
-      e.p_hi = parse_double(key, value);
+      e.p_hi = parse_double_field(key, value);
     } else if (key == "recorded_mi") {
-      e.recorded_mi = parse_double(key, value);
+      e.recorded_mi = parse_double_field(key, value);
     } else if (key == "recorded_p") {
-      e.recorded_p = parse_double(key, value);
+      e.recorded_p = parse_double_field(key, value);
     } else if (key == "recorded_decoder_acc") {
-      e.recorded_decoder_acc = parse_double(key, value);
+      e.recorded_decoder_acc = parse_double_field(key, value);
     } else if (key == "recorded_signature") {
       e.recorded_signature = value;
     } else if (key == "note") {

@@ -29,6 +29,8 @@ double num_field(const std::string& rec, const std::string& key) {
     throw std::runtime_error("fuzz record is missing field '" + key +
                              "': " + rec);
   }
+  // lint:allow(raw-parse) prefix extraction from our own %.6f-rendered
+  // record; a malformed field throws std::invalid_argument right here
   return std::stod(rec.substr(pos + tag.size()));
 }
 

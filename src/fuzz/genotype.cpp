@@ -41,6 +41,8 @@ std::uint64_t take_field(const std::string& s, std::size_t& pos,
   std::uint64_t v = 0;
   std::size_t used = 0;
   try {
+    // lint:allow(raw-parse) full-token checked below (used != tok.size()
+    // throws); parse_num.h is decimal-only and this field can be hex
     v = std::stoull(tok, &used, hex ? 16 : 10);
   } catch (const std::exception&) {
     throw std::invalid_argument("genotype: field '" + std::string(name) +

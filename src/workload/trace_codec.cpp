@@ -173,6 +173,8 @@ std::optional<MemRequest> TextTraceDecoder::next() {
       bad_line(line_no_, "bad hex address '" + tok[0] + "'");
     }
     try {
+      // lint:allow(raw-parse) token prevalidated by all_hex(); parse_num.h
+      // is decimal-only and trace addresses are hex
       r.addr = std::stoull(hex, nullptr, 16);
     } catch (const std::out_of_range&) {
       bad_line(line_no_, "address out of range '" + tok[0] + "'");
@@ -186,6 +188,7 @@ std::optional<MemRequest> TextTraceDecoder::next() {
     }
     unsigned long long delay = 0;
     try {
+      // lint:allow(raw-parse) token prevalidated by all_dec() just above
       delay = std::stoull(tok[2]);
     } catch (const std::out_of_range&) {
       bad_line(line_no_, "pre_delay out of range '" + tok[2] + "'");

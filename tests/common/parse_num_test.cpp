@@ -82,5 +82,41 @@ TEST(ParseNum, NarrowedVariantCapsAtUint32) {
   EXPECT_THROW(parse_uint32("4294967296", "--x"), std::invalid_argument);
 }
 
+TEST(ParseDouble, AcceptsDecimalAndScientificForms) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25", "--p"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("1e-3", "--p"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_double("-2.5", "--p"), -2.5);
+  EXPECT_DOUBLE_EQ(parse_double("3", "--p"), 3.0);
+}
+
+TEST(ParseDouble, RejectsJunkAndWhitespace) {
+  EXPECT_THROW(parse_double("", "--p"), std::invalid_argument);
+  EXPECT_THROW(parse_double("0.5x", "--p"), std::invalid_argument);
+  EXPECT_THROW(parse_double(" 0.5", "--p"), std::invalid_argument);
+  EXPECT_THROW(parse_double("0.5 ", "--p"), std::invalid_argument);
+  EXPECT_THROW(parse_double("zero", "--p"), std::invalid_argument);
+}
+
+// strtod happily returns inf/nan for "inf"/"nan" and HUGE_VAL on
+// overflow; none of those are usable thresholds.
+TEST(ParseDouble, RejectsNonFiniteValues) {
+  EXPECT_THROW(parse_double("inf", "--p"), std::invalid_argument);
+  EXPECT_THROW(parse_double("nan", "--p"), std::invalid_argument);
+  EXPECT_THROW(parse_double("1e999", "--p"), std::invalid_argument);
+}
+
+TEST(ParseDouble, EnforcesRangeAndNamesTheFlag) {
+  EXPECT_DOUBLE_EQ(parse_double("0.5", "--p", 0.0, 1.0), 0.5);
+  EXPECT_THROW(parse_double("1.5", "--p", 0.0, 1.0), std::invalid_argument);
+  try {
+    parse_double("-0.1", "--p-threshold", 0.0, 1.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--p-threshold"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace pipo

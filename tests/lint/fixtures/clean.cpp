@@ -1,0 +1,26 @@
+// Lint fixture: deterministic code plus tokenizer traps — must lint
+// clean. A comment mentioning rand() or steady_clock::now() is not a
+// call, and neither is anything inside a string literal.
+#include <cstdio>
+#include <string>
+
+static const char* kDoc =
+    "calling rand() or time(NULL) would break replay";
+
+static const char* kRaw = R"(atoi("12") inside a raw string is inert)";
+
+unsigned digit_separated() {
+  return 1'000'000;  // digit separators must not derail the scanner
+}
+
+void pinned_float(double v) {
+  std::printf("mi=%.6f p=%.3e\n", v, v);
+  std::printf("pct=%d%%\n", 50);
+}
+
+std::string identifier_traps(const std::string& s) {
+  // Identifiers merely containing rule substrings are not matches.
+  std::string uptime = s + "_time";
+  std::string mi_bits_label = "mi_bits";
+  return kDoc + uptime + mi_bits_label + kRaw;
+}

@@ -1,0 +1,18 @@
+// Lint fixture: float conversions without an explicit precision — the
+// rendered width depends on the value, so records stop being
+// byte-stable. Pinned precisions stay legal.
+#include <cstdio>
+
+void bad_print(double mi) {
+  std::printf("mi=%f\n", mi);          // expect-lint: float-format
+  std::printf("acc=%g\n", mi);         // expect-lint: float-format
+  std::printf("sci=%e\n", mi);         // expect-lint: float-format
+  std::printf("wide=%12f\n", mi);      // expect-lint: float-format
+  std::printf("long=%Lf\n", 0.0L);     // expect-lint: float-format
+}
+
+void fine_print(double mi) {
+  std::printf("mi=%.6f p=%.3e g=%.17g\n", mi, mi, mi);
+  std::printf("star=%.*f\n", 6, mi);
+  std::printf("pct=%d%%\n", 50);
+}

@@ -1,0 +1,24 @@
+// Lint fixture: raw numeric parsing — atoi and friends silently accept
+// signs, trailing junk, and out-of-range values; common/parse_num.h is
+// the checked replacement.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+unsigned long bad_strtoul(const std::string& s) {
+  return strtoul(s.c_str(), nullptr, 10);  // expect-lint: raw-parse
+}
+
+int bad_atoi(const char* s) {
+  return atoi(s);  // expect-lint: raw-parse
+}
+
+double bad_stod(const std::string& s) {
+  return std::stod(s);  // expect-lint: raw-parse
+}
+
+int bad_sscanf(const char* s) {
+  int v = 0;
+  sscanf(s, "%d", &v);  // expect-lint: raw-parse
+  return v;
+}

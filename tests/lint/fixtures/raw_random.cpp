@@ -1,0 +1,17 @@
+// Lint fixture: nondeterministic randomness sources the lint must
+// reject in favor of the seeded pipo::Rng.
+#include <cstdlib>
+#include <random>
+
+unsigned bad_rand() {
+  return static_cast<unsigned>(rand());  // expect-lint: raw-random
+}
+
+void bad_srand(unsigned seed) {
+  srand(seed);  // expect-lint: raw-random
+}
+
+unsigned bad_device() {
+  std::random_device rd;  // expect-lint: raw-random
+  return rd();
+}

@@ -1,0 +1,18 @@
+// Lint fixture: hand-rendered campaign record keys — every result
+// record must go through config_result_json() so the byte layout has
+// exactly one producer.
+#include <string>
+
+std::string bad_record(double mi) {
+  return "{\"mi_bits\": " + std::to_string(mi) + "}";  // expect-lint: result-json
+}
+
+std::string bad_wall(double ms) {
+  std::string out = "\"wall_ms\": ";  // expect-lint: result-json
+  return out + std::to_string(ms);
+}
+
+// Mentioning a key name without the JSON punctuation is fine.
+std::string fine_log() {
+  return "campaign finished; see mi_bits in the record";
+}

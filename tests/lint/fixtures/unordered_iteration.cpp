@@ -1,0 +1,22 @@
+// Lint fixture: iteration over unordered containers — bucket order is
+// unspecified, so anything derived from it can differ across runs.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int bad_range_for(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& kv : counts) {  // expect-lint: unordered-iteration
+    total += kv.second;
+  }
+  return total;
+}
+
+int bad_begin(std::unordered_set<int> seen) {
+  return *seen.begin();  // expect-lint: unordered-iteration
+}
+
+// Membership tests without iteration are deterministic and stay legal.
+bool fine_lookup(const std::unordered_set<int>& seen, int key) {
+  return seen.count(key) != 0;
+}

@@ -1,0 +1,26 @@
+// Lint fixture: correctly waived sites — the lint must report nothing.
+// Exercises same-line waivers, own-line waivers, wrapped multi-line
+// waiver comments, and a multi-rule waiver.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+long long waived_above() {
+  // lint:allow(wall-clock) progress timing rendered to stderr only
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long long waived_inline() {
+  return time(nullptr);  // lint:allow(wall-clock) cache-stamp mtime only
+}
+
+int waived_wrapped(const char* s) {
+  // lint:allow(raw-parse) token prevalidated by the caller; this site
+  // checks that a wrapped waiver comment still covers the code below
+  return atoi(s);
+}
+
+void waived_multi_rule(double v) {
+  // lint:allow(float-format, raw-random) fixture for the list form
+  std::printf("noise=%g rand=%d\n", v, rand());
+}

@@ -1,0 +1,10 @@
+// Lint fixture: a waiver without a reason is itself a violation, and it
+// grants no coverage — the underlying site still fires.
+#include <cstdlib>
+
+int bad_waiver(const char* s) {
+  // expect-lint(+2): waiver-reason
+  // expect-lint(+2): raw-parse
+  // lint:allow(raw-parse)
+  return atoi(s);
+}

@@ -1,0 +1,7 @@
+// Lint fixture: a waiver naming a rule the lint does not define is
+// flagged rather than silently ignored.
+int unknown_rule_name() {
+  // expect-lint(+1): waiver-reason
+  // lint:allow(no-such-rule) reviewed and fine
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Lint fixture: every flavor of wall-clock read the determinism lint
+// must reject. 'expect-lint:' annotations pin the (line, rule) pairs
+// scripts/lint_determinism_test.py asserts against.
+#include <chrono>
+#include <ctime>
+
+long long bad_steady() {
+  auto t = std::chrono::steady_clock::now();  // expect-lint: wall-clock
+  return t.time_since_epoch().count();
+}
+
+long long bad_system() {
+  return std::chrono::system_clock::now()  // expect-lint: wall-clock
+      .time_since_epoch()
+      .count();
+}
+
+long long bad_high_res() {
+  return std::chrono::high_resolution_clock::now()  // expect-lint: wall-clock
+      .time_since_epoch()
+      .count();
+}
+
+long long bad_ctime() {
+  return static_cast<long long>(time(nullptr));  // expect-lint: wall-clock
+}

@@ -37,6 +37,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/parse_num.h"
 #include "workload/trace_codec.h"
 
 namespace {
@@ -86,9 +87,10 @@ int main(int argc, char** argv) {
   bool fetch = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cycles-per-instr") == 0 && i + 1 < argc) {
-      cycles_per_instr = std::strtoull(argv[++i], nullptr, 10);
-      if (cycles_per_instr == 0) {
-        std::fprintf(stderr, "--cycles-per-instr must be > 0\n");
+      try {
+        cycles_per_instr = parse_uint(argv[++i], "--cycles-per-instr", 1);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
         usage();
       }
     } else if (std::strcmp(argv[i], "--fetch") == 0) {

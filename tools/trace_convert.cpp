@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/parse_num.h"
 #include "workload/stream_trace.h"
 #include "workload/trace_codec.h"
 #include "workload/trace_frame.h"
@@ -58,10 +59,11 @@ int main(int argc, char** argv) {
       have_to = true;
     } else if (std::strcmp(argv[i], "--frame-requests") == 0 &&
                i + 1 < argc) {
-      framed_opts.frame_requests =
-          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-      if (framed_opts.frame_requests == 0) {
-        std::fprintf(stderr, "--frame-requests must be > 0\n");
+      try {
+        framed_opts.frame_requests = static_cast<std::size_t>(
+            parse_uint(argv[++i], "--frame-requests", 1));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
         usage();
       }
     } else if (std::strcmp(argv[i], "--compress") == 0) {
